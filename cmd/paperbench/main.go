@@ -1,0 +1,90 @@
+// Command paperbench regenerates the paper's tables: it compiles every
+// workload program under all sixteen scheduling/optimization
+// configurations, simulates each on the Alpha 21164 model, verifies that
+// all configurations compute identical program outputs, and prints the
+// requested tables.
+//
+// Usage:
+//
+//	paperbench [-table N] [-bench name,name,...] [-v]
+//
+// With no flags it prints every table (1-9).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print only table N (1-9); 0 = all")
+	benchList := flag.String("bench", "", "comma-separated benchmark subset (default: all 17)")
+	ext := flag.Bool("ext", false, "also run the extension experiments (E1 superscalar, E2 policies, E3 prefetching)")
+	verbose := flag.Bool("v", false, "print per-benchmark progress")
+	flag.Parse()
+
+	var names []string
+	if *benchList != "" {
+		names = strings.Split(*benchList, ",")
+	}
+
+	if *ext && *table == 0 {
+		for _, f := range []func([]string) (*exp.Table, error){exp.TableE1, exp.TableE2, exp.TableE3} {
+			t, err := f(names)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "paperbench:", err)
+				os.Exit(1)
+			}
+			t.Write(os.Stdout)
+		}
+		return
+	}
+
+	// Static tables need no simulation.
+	static := map[int]func() *exp.Table{1: exp.Table1, 2: exp.Table2, 3: exp.Table3}
+	if f, ok := static[*table]; ok {
+		f().Write(os.Stdout)
+		return
+	}
+
+	start := time.Now()
+	progress := func(string) {}
+	if *verbose {
+		progress = func(b string) {
+			fmt.Fprintf(os.Stderr, "[%6.1fs] %s done\n", time.Since(start).Seconds(), b)
+		}
+	}
+	suite, err := exp.Run(names, progress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "grid complete in %.1fs\n", time.Since(start).Seconds())
+	}
+
+	dynamic := map[int]func() *exp.Table{
+		4: suite.Table4, 5: suite.Table5, 6: suite.Table6,
+		7: suite.Table7, 8: suite.Table8, 9: suite.Table9,
+	}
+	if *table != 0 {
+		f, ok := dynamic[*table]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "paperbench: no table %d\n", *table)
+			os.Exit(2)
+		}
+		f().Write(os.Stdout)
+		return
+	}
+	exp.Table1().Write(os.Stdout)
+	exp.Table2().Write(os.Stdout)
+	exp.Table3().Write(os.Stdout)
+	for _, t := range suite.Tables() {
+		t.Write(os.Stdout)
+	}
+}

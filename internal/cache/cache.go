@@ -1,0 +1,247 @@
+// Package cache models the memory hierarchy of the simulated machine: a
+// split first-level cache (8KB I + 8KB D, direct mapped, 32-byte lines,
+// write-through, lockup-free on the data side), a unified 96KB 3-way
+// second-level cache, a large direct-mapped board cache, main memory, and
+// instruction/data TLBs — the hierarchy of the Alpha 21164 that the paper
+// simulates (Section 4.3, Table 2).
+package cache
+
+// Default hierarchy parameters (the paper's Table 2 configuration). The
+// load-to-use latencies range from 2 cycles (L1 hit) to 50 cycles (main
+// memory), matching the paper's statement that the maximum load latency is
+// 50 cycles.
+const (
+	// LineSize is the cache line size in bytes at every level.
+	LineSize = 32
+	// L1Size is the size of each first-level cache (instruction and data).
+	L1Size = 8 * 1024
+	// L2Size is the unified second-level cache size.
+	L2Size = 96 * 1024
+	// L2Assoc is the second-level associativity.
+	L2Assoc = 3
+	// L3Size is the board-level cache size.
+	L3Size = 2 * 1024 * 1024
+	// LatL1 is the load-to-use latency of a first-level hit.
+	LatL1 = 2
+	// LatL2 is the load-to-use latency of a second-level hit.
+	LatL2 = 9
+	// LatL3 is the load-to-use latency of a board-cache hit.
+	LatL3 = 21
+	// LatMem is the load-to-use latency of a main-memory access.
+	LatMem = 50
+	// PageSize is the virtual page size for the TLBs.
+	PageSize = 8 * 1024
+	// ITLBEntries is the instruction TLB capacity (21164 ITB: 48 entries).
+	ITLBEntries = 48
+	// DTLBEntries is the data TLB capacity (21164 DTB: 64 entries).
+	DTLBEntries = 64
+	// TLBMissPenalty is the software-refill cost of a TLB miss.
+	TLBMissPenalty = 20
+	// MSHRs is the number of outstanding misses the lockup-free data
+	// cache supports (the 21164 miss-address file holds six).
+	MSHRs = 6
+)
+
+// set is one direct-mapped or set-associative cache set with LRU
+// replacement, storing line tags.
+type set struct {
+	tags []uint64 // tags[0] is most recently used; 0 means empty
+}
+
+func (s *set) lookup(tag uint64, allocate bool) bool {
+	for i, t := range s.tags {
+		if t == tag+1 { // +1 so tag 0 is distinguishable from empty
+			copy(s.tags[1:i+1], s.tags[:i])
+			s.tags[0] = tag + 1
+			return true
+		}
+	}
+	if allocate {
+		copy(s.tags[1:], s.tags[:len(s.tags)-1])
+		s.tags[0] = tag + 1
+	}
+	return false
+}
+
+func (s *set) present(tag uint64) bool {
+	for _, t := range s.tags {
+		if t == tag+1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Cache is one level of the hierarchy.
+type Cache struct {
+	name     string
+	sets     []set
+	setShift uint
+	setMask  uint64
+
+	// Hits and Misses count lookups.
+	Hits, Misses int64
+}
+
+// NewCache builds a cache of size bytes with the given associativity and
+// LineSize-byte lines.
+func NewCache(name string, size, assoc int) *Cache {
+	nsets := size / (LineSize * assoc)
+	if nsets < 1 {
+		nsets = 1
+	}
+	c := &Cache{name: name, sets: make([]set, nsets)}
+	for i := range c.sets {
+		c.sets[i].tags = make([]uint64, assoc)
+	}
+	c.setShift = log2(LineSize)
+	c.setMask = uint64(nsets - 1)
+	return c
+}
+
+// Name returns the cache's configured name.
+func (c *Cache) Name() string { return c.name }
+
+// Access looks addr up, allocating the line on a miss, and reports hit.
+func (c *Cache) Access(addr uint64) bool {
+	idx := (addr >> c.setShift) & c.setMask
+	tag := addr >> c.setShift
+	hit := c.sets[idx].lookup(tag, true)
+	if hit {
+		c.Hits++
+	} else {
+		c.Misses++
+	}
+	return hit
+}
+
+// Probe reports whether addr's line is present without updating
+// replacement state or counters (used by write-through stores, which do
+// not allocate).
+func (c *Cache) Probe(addr uint64) bool {
+	idx := (addr >> c.setShift) & c.setMask
+	return c.sets[idx].present(addr >> c.setShift)
+}
+
+// Touch updates the line for addr if present (a write hit under
+// write-through: the line stays, replacement state refreshes).
+func (c *Cache) Touch(addr uint64) {
+	idx := (addr >> c.setShift) & c.setMask
+	tag := addr >> c.setShift
+	if c.sets[idx].present(tag) {
+		c.sets[idx].lookup(tag, false)
+	}
+}
+
+func log2(n int) uint {
+	var s uint
+	for n > 1 {
+		n >>= 1
+		s++
+	}
+	return s
+}
+
+// TLB is a fully-associative translation buffer with LRU replacement.
+type TLB struct {
+	entries set
+	// Hits and Misses count lookups.
+	Hits, Misses int64
+}
+
+// NewTLB builds a TLB with n entries.
+func NewTLB(n int) *TLB {
+	return &TLB{entries: set{tags: make([]uint64, n)}}
+}
+
+// Access translates the page containing addr and reports whether the
+// translation was present.
+func (t *TLB) Access(addr uint64) bool {
+	hit := t.entries.lookup(addr/PageSize, true)
+	if hit {
+		t.Hits++
+	} else {
+		t.Misses++
+	}
+	return hit
+}
+
+// Hierarchy bundles the data-side memory system: DTLB, L1 data cache and
+// the shared L2/L3/memory levels. The instruction side (ITLB + L1 I-cache)
+// shares the L2 and below.
+type Hierarchy struct {
+	// L1I and L1D are the split first-level caches.
+	L1I, L1D *Cache
+	// L2 is the unified second-level cache.
+	L2 *Cache
+	// L3 is the board-level cache.
+	L3 *Cache
+	// ITLB and DTLB are the translation buffers.
+	ITLB, DTLB *TLB
+}
+
+// NewHierarchy builds the default (21164-like) memory system.
+func NewHierarchy() *Hierarchy {
+	return &Hierarchy{
+		L1I:  NewCache("L1I", L1Size, 1),
+		L1D:  NewCache("L1D", L1Size, 1),
+		L2:   NewCache("L2", L2Size, L2Assoc),
+		L3:   NewCache("L3", L3Size, 1),
+		ITLB: NewTLB(ITLBEntries),
+		DTLB: NewTLB(DTLBEntries),
+	}
+}
+
+// LoadLatency performs a data-side load access at addr and returns the
+// load-to-use latency in cycles, including any TLB refill, and whether the
+// access hit in the L1 data cache.
+func (h *Hierarchy) LoadLatency(addr uint64) (lat int, l1hit bool) {
+	lat = 0
+	if !h.DTLB.Access(addr) {
+		lat += TLBMissPenalty
+	}
+	if h.L1D.Access(addr) {
+		return lat + LatL1, true
+	}
+	if h.L2.Access(addr) {
+		return lat + LatL2, false
+	}
+	if h.L3.Access(addr) {
+		return lat + LatL3, false
+	}
+	return lat + LatMem, false
+}
+
+// Store performs a data-side store access at addr. The L1 data cache is
+// write-through and no-write-allocate; lower levels are updated if
+// present. It returns extra stall cycles (TLB refill only — the write
+// buffer absorbs store misses).
+func (h *Hierarchy) Store(addr uint64) (stall int) {
+	if !h.DTLB.Access(addr) {
+		stall += TLBMissPenalty
+	}
+	h.L1D.Touch(addr)
+	h.L2.Touch(addr)
+	h.L3.Touch(addr)
+	return stall
+}
+
+// FetchLatency performs an instruction fetch access at addr and returns
+// extra stall cycles beyond the pipelined fetch (zero on an L1 I-cache
+// hit).
+func (h *Hierarchy) FetchLatency(addr uint64) int {
+	lat := 0
+	if !h.ITLB.Access(addr) {
+		lat += TLBMissPenalty
+	}
+	if h.L1I.Access(addr) {
+		return lat
+	}
+	if h.L2.Access(addr) {
+		return lat + (LatL2 - LatL1)
+	}
+	if h.L3.Access(addr) {
+		return lat + (LatL3 - LatL1)
+	}
+	return lat + (LatMem - LatL1)
+}

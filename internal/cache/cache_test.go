@@ -1,0 +1,176 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := NewCache("t", L1Size, 1)
+	if c.Access(0x1000) {
+		t.Fatal("cold cache hit")
+	}
+	if !c.Access(0x1000) {
+		t.Fatal("miss after fill")
+	}
+	if !c.Access(0x1000 + LineSize - 1) {
+		t.Fatal("same-line access missed")
+	}
+	if c.Access(0x1000 + LineSize) {
+		t.Fatal("next line hit without fill")
+	}
+	if c.Hits != 2 || c.Misses != 2 {
+		t.Errorf("hits=%d misses=%d, want 2/2", c.Hits, c.Misses)
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	c := NewCache("dm", L1Size, 1)
+	a := uint64(0x0)
+	b := a + L1Size // same set, different tag
+	c.Access(a)
+	c.Access(b)
+	if c.Access(a) {
+		t.Error("direct-mapped cache kept both conflicting lines")
+	}
+}
+
+func TestAssociativityAvoidsConflict(t *testing.T) {
+	c := NewCache("sa", L1Size, 2)
+	a := uint64(0x0)
+	b := a + L1Size/2*2 // maps to same set in a 2-way cache of half the sets
+	c.Access(a)
+	c.Access(b)
+	if !c.Access(a) {
+		t.Error("2-way cache evicted line despite free way")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c := NewCache("lru", 2*LineSize, 2) // one set, two ways
+	c.Access(0)
+	c.Access(LineSize)
+	c.Access(0)            // 0 is now MRU
+	c.Access(2 * LineSize) // evicts LineSize (LRU)
+	if !c.Access(0) {
+		t.Error("LRU evicted the MRU line")
+	}
+	if c.Access(LineSize) {
+		t.Error("LRU kept the least recently used line")
+	}
+}
+
+func TestProbeAndTouchDoNotAllocate(t *testing.T) {
+	c := NewCache("p", L1Size, 1)
+	if c.Probe(0x40) {
+		t.Fatal("probe hit on cold cache")
+	}
+	c.Touch(0x40)
+	if c.Probe(0x40) {
+		t.Fatal("touch allocated a line")
+	}
+	c.Access(0x40)
+	if !c.Probe(0x40) {
+		t.Fatal("probe missed a filled line")
+	}
+	if c.Hits != 0 || c.Misses != 1 {
+		t.Errorf("probe/touch perturbed counters: %d/%d", c.Hits, c.Misses)
+	}
+}
+
+func TestTLB(t *testing.T) {
+	tlb := NewTLB(2)
+	if tlb.Access(0) {
+		t.Fatal("cold TLB hit")
+	}
+	if !tlb.Access(PageSize - 1) {
+		t.Fatal("same-page access missed")
+	}
+	tlb.Access(PageSize)     // fills second entry
+	tlb.Access(2 * PageSize) // evicts page 0 (LRU)
+	if tlb.Access(0) {
+		t.Error("TLB retained evicted page")
+	}
+}
+
+func TestHierarchyLoadLatencies(t *testing.T) {
+	h := NewHierarchy()
+	addr := uint64(PageSize) // pre-warm the TLB page via a first access
+	h.DTLB.Access(addr)
+
+	lat, hit := h.LoadLatency(addr)
+	if hit || lat != LatMem {
+		t.Errorf("cold load: lat=%d hit=%v, want %d/false", lat, hit, LatMem)
+	}
+	lat, hit = h.LoadLatency(addr)
+	if !hit || lat != LatL1 {
+		t.Errorf("warm load: lat=%d hit=%v, want %d/true", lat, hit, LatL1)
+	}
+
+	// Evict from L1 (direct mapped) but not L2: access a conflicting line.
+	h.DTLB.Access(addr + L1Size)
+	h.LoadLatency(addr + L1Size)
+	lat, hit = h.LoadLatency(addr)
+	if hit || lat != LatL2 {
+		t.Errorf("L2 hit: lat=%d hit=%v, want %d/false", lat, hit, LatL2)
+	}
+}
+
+func TestHierarchyTLBPenalty(t *testing.T) {
+	h := NewHierarchy()
+	lat, _ := h.LoadLatency(0)
+	if lat != LatMem+TLBMissPenalty {
+		t.Errorf("cold access lat=%d, want %d", lat, LatMem+TLBMissPenalty)
+	}
+}
+
+func TestStoreWriteThroughNoAllocate(t *testing.T) {
+	h := NewHierarchy()
+	h.DTLB.Access(0)
+	if st := h.Store(0); st != 0 {
+		t.Errorf("store stall=%d with warm TLB", st)
+	}
+	// The store must not have allocated in L1.
+	lat, hit := h.LoadLatency(0)
+	if hit {
+		t.Errorf("store allocated into L1 (lat=%d)", lat)
+	}
+}
+
+func TestFetchLatency(t *testing.T) {
+	h := NewHierarchy()
+	addr := uint64(0)
+	h.ITLB.Access(addr)
+	if lat := h.FetchLatency(addr); lat != LatMem-LatL1 {
+		t.Errorf("cold fetch stall=%d, want %d", lat, LatMem-LatL1)
+	}
+	if lat := h.FetchLatency(addr); lat != 0 {
+		t.Errorf("warm fetch stall=%d, want 0", lat)
+	}
+}
+
+func TestCacheProperties(t *testing.T) {
+	// A second access to any address immediately after the first is
+	// always a hit, for any cache geometry.
+	hitAfterFill := func(addr uint64, assocSel uint8) bool {
+		assoc := 1 + int(assocSel%4)
+		c := NewCache("q", L1Size, assoc)
+		c.Access(addr)
+		return c.Access(addr)
+	}
+	if err := quick.Check(hitAfterFill, nil); err != nil {
+		t.Errorf("hit-after-fill violated: %v", err)
+	}
+
+	// Hits+Misses equals the number of Access calls.
+	counts := func(addrs []uint64) bool {
+		c := NewCache("q", L1Size, 2)
+		for _, a := range addrs {
+			c.Access(a)
+		}
+		return c.Hits+c.Misses == int64(len(addrs))
+	}
+	if err := quick.Check(counts, nil); err != nil {
+		t.Errorf("counter invariant violated: %v", err)
+	}
+}

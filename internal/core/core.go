@@ -1,0 +1,306 @@
+// Package core assembles the paper's full compilation and measurement
+// pipeline. A Config names one experimental cell — scheduler policy
+// (traditional or balanced) × loop unrolling factor × trace scheduling ×
+// locality analysis — and Compile runs the corresponding phase sequence:
+//
+//	HLIR → [locality analysis] → [loop unrolling] → lower →
+//	[profile → trace scheduling | per-block scheduling] →
+//	register allocation → executable Alpha-like code
+//
+// Execute then runs the code on the 21164 model and returns the paper's
+// metrics. Every configuration of the same program computes bit-identical
+// outputs; Checksum exposes the token the integration tests compare.
+package core
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/hlir"
+	"repro/internal/ir"
+	"repro/internal/licm"
+	"repro/internal/locality"
+	"repro/internal/lower"
+	"repro/internal/prefetch"
+	"repro/internal/profile"
+	"repro/internal/regalloc"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/unroll"
+)
+
+// Config selects one point in the paper's experiment grid.
+type Config struct {
+	// Policy is the load-weight policy (traditional or balanced).
+	Policy sched.Policy
+	// Unroll is the loop unrolling factor: 0 (off), 4 or 8.
+	Unroll int
+	// Trace enables trace scheduling (profile-guided).
+	Trace bool
+	// Locality enables locality analysis with hit/miss marking.
+	Locality bool
+	// Prefetch enables Mowry-style selective software prefetching of the
+	// predicted-miss loads (extension E3; requires Locality for the
+	// marks).
+	Prefetch bool
+	// LICM enables loop-invariant code motion after lowering (opt-in so
+	// the paper-calibrated pipeline stays fixed; see internal/licm).
+	LICM bool
+}
+
+// Name renders the configuration the way the paper's tables label it.
+func (c Config) Name() string {
+	s := "TS"
+	switch c.Policy {
+	case sched.Balanced:
+		s = "BS"
+	case sched.BalancedFixed:
+		s = "BF"
+	case sched.Auto:
+		s = "AUTO"
+	}
+	if c.Locality {
+		s += "+LA"
+	}
+	if c.Prefetch {
+		s += "+PF"
+	}
+	if c.LICM {
+		s += "+LICM"
+	}
+	if c.Trace {
+		s += "+TrS"
+	}
+	if c.Unroll > 0 {
+		s += fmt.Sprintf("+LU%d", c.Unroll)
+	}
+	return s
+}
+
+// Data carries a program's initial array contents, keyed by the program's
+// array descriptors (which all transformed clones share).
+type Data struct {
+	// F holds float-array inputs.
+	F map[*hlir.Array][]float64
+	// I holds integer-array inputs.
+	I map[*hlir.Array][]int64
+}
+
+// NewData allocates an empty input set.
+func NewData() *Data {
+	return &Data{F: map[*hlir.Array][]float64{}, I: map[*hlir.Array][]int64{}}
+}
+
+// Compiled is the result of running the pipeline on one program.
+type Compiled struct {
+	// Fn is the final, allocated machine code.
+	Fn *ir.Func
+	// ArrayID maps HLIR arrays to simulator array IDs.
+	ArrayID map[*hlir.Array]int
+	// Program is the transformed HLIR the code was generated from; its
+	// Outputs (shared descriptors) locate results.
+	Program *hlir.Program
+	// Config echoes the compilation configuration.
+	Config Config
+	// Locality and Trace report what the optional phases did (nil when
+	// the phase did not run); Alloc always runs.
+	Locality *locality.Report
+	Trace    *trace.Report
+	Alloc    *regalloc.Report
+	// Prefetches counts inserted software-prefetch hints.
+	Prefetches int
+	// LICM reports hoisting when the optional pass ran.
+	LICM *licm.Report
+}
+
+// Compile runs the configured pipeline on p. The data is needed when
+// trace scheduling is enabled, because trace selection is profile driven —
+// the paper profiles each program on its input before compiling with
+// traces (Section 4.2). The input program is never mutated.
+func Compile(p *hlir.Program, cfg Config, data *Data) (*Compiled, error) {
+	prog := p
+	out := &Compiled{Config: cfg}
+	if cfg.Locality {
+		prog, out.Locality = locality.Apply(prog, cfg.Unroll)
+	}
+	if cfg.Unroll > 0 {
+		// After locality analysis, reuse loops carry NoUnroll and keep
+		// their hit/miss marks; the general unroller handles the rest.
+		prog = unroll.Apply(prog, cfg.Unroll)
+	}
+	if cfg.Prefetch {
+		prog, out.Prefetches = prefetch.Apply(prog)
+	}
+	if prog == p {
+		prog = p.Clone()
+	}
+	res, err := lower.Lower(prog)
+	if err != nil {
+		return nil, err
+	}
+	out.Fn = res.Fn
+	out.ArrayID = res.ArrayID
+	out.Program = prog
+	if cfg.LICM {
+		out.LICM = licm.Apply(res.Fn)
+	}
+
+	if cfg.Trace {
+		edges, err := profile.Collect(res.Fn, func(m *sim.Machine) {
+			InitMachine(m, res.ArrayID, data)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: profiling %s: %w", p.Name, err)
+		}
+		rep, err := trace.ScheduleAll(res.Fn, edges, cfg.Policy)
+		if err != nil {
+			return nil, fmt.Errorf("core: trace scheduling %s: %w", p.Name, err)
+		}
+		out.Trace = rep
+	} else {
+		for _, b := range res.Fn.Blocks {
+			trace.ScheduleBlock(res.Fn, b, cfg.Policy)
+		}
+		if err := res.Fn.Validate(); err != nil {
+			return nil, fmt.Errorf("core: block scheduling %s: %w", p.Name, err)
+		}
+	}
+
+	alloc, err := regalloc.Allocate(res.Fn)
+	if err != nil {
+		return nil, fmt.Errorf("core: allocating %s: %w", p.Name, err)
+	}
+	out.Alloc = alloc
+	return out, nil
+}
+
+// InitMachine writes the input data into a fresh simulation instance.
+func InitMachine(m *sim.Machine, ids map[*hlir.Array]int, data *Data) {
+	if data == nil {
+		return
+	}
+	for a, vals := range data.F {
+		id, ok := ids[a]
+		if !ok {
+			continue
+		}
+		for i, v := range vals {
+			m.WriteF64(id, int64(i)*8, v)
+		}
+	}
+	for a, vals := range data.I {
+		id, ok := ids[a]
+		if !ok {
+			continue
+		}
+		for i, v := range vals {
+			m.WriteI64(id, int64(i)*8, v)
+		}
+	}
+}
+
+// Execute simulates compiled code on the 21164 model with the given
+// inputs, returning the metrics and the output checksum.
+func Execute(c *Compiled, data *Data) (*sim.Metrics, uint64, error) {
+	return ExecuteWidth(c, data, 1)
+}
+
+// ExecuteWidth simulates on a machine issuing up to width instructions per
+// cycle (width 1 is the paper's model; 2 and 4 explore its superscalar
+// future work).
+func ExecuteWidth(c *Compiled, data *Data, width int) (*sim.Metrics, uint64, error) {
+	m, err := sim.New(c.Fn)
+	if err != nil {
+		return nil, 0, err
+	}
+	m.IssueWidth = width
+	InitMachine(m, c.ArrayID, data)
+	met, err := m.Run(nil)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: executing %s (%s): %w", c.Fn.Name, c.Config.Name(), err)
+	}
+	return met, Checksum(m, c), nil
+}
+
+// Checksum hashes the program outputs in simulator memory, bit-compatible
+// with hlir.Interp.Checksum.
+func Checksum(m *sim.Machine, c *Compiled) uint64 {
+	var h uint64 = 14695981039346656037
+	mix := func(bits uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (bits >> (8 * i)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	for _, a := range c.Program.Outputs {
+		id := c.ArrayID[a]
+		for i := 0; i < a.Len(); i++ {
+			if a.Elem == hlir.KFloat {
+				mix(math.Float64bits(m.ReadF64(id, int64(i)*8)))
+			} else {
+				mix(uint64(m.ReadI64(id, int64(i)*8)))
+			}
+		}
+	}
+	return h
+}
+
+// Reference runs the HLIR interpreter on p with the inputs and returns
+// the ground-truth checksum.
+func Reference(p *hlir.Program, data *Data) (uint64, error) {
+	it := hlir.NewInterp(p)
+	if data != nil {
+		for a, vals := range data.F {
+			copy(it.F[a], vals)
+		}
+		for a, vals := range data.I {
+			copy(it.I[a], vals)
+		}
+	}
+	if err := it.Run(p); err != nil {
+		return 0, err
+	}
+	return it.Checksum(p), nil
+}
+
+// ParseConfig parses a configuration name in the tables' notation: "BS",
+// "TS", "BF" or "AUTO" optionally followed by "+LA", "+TrS" and "+LUn"
+// options in any order (e.g. "BS+LA+TrS+LU8"). It is the inverse of
+// Config.Name.
+func ParseConfig(s string) (Config, error) {
+	cfg := Config{}
+	for i, part := range strings.Split(s, "+") {
+		switch {
+		case i == 0 && part == "BS":
+			cfg.Policy = sched.Balanced
+		case i == 0 && part == "TS":
+			cfg.Policy = sched.Traditional
+		case i == 0 && part == "BF":
+			cfg.Policy = sched.BalancedFixed
+		case i == 0 && part == "AUTO":
+			cfg.Policy = sched.Auto
+		case i == 0:
+			return cfg, fmt.Errorf("core: config must start with BS, TS, BF or AUTO: %q", s)
+		case part == "LA":
+			cfg.Locality = true
+		case part == "PF":
+			cfg.Prefetch = true
+		case part == "LICM":
+			cfg.LICM = true
+		case part == "TrS":
+			cfg.Trace = true
+		case strings.HasPrefix(part, "LU"):
+			n, err := strconv.Atoi(part[2:])
+			if err != nil || n < 2 {
+				return cfg, fmt.Errorf("core: bad unroll factor in %q", s)
+			}
+			cfg.Unroll = n
+		default:
+			return cfg, fmt.Errorf("core: unknown option %q in %q", part, s)
+		}
+	}
+	return cfg, nil
+}

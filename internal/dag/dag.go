@@ -1,0 +1,332 @@
+// Package dag builds the code DAG a list scheduler consumes: nodes are the
+// instructions of a scheduling region (a basic block, or a trace of blocks
+// during trace scheduling) and edges are the dependences that constrain
+// reordering — register true/anti/output dependences, memory dependences
+// refined by array disambiguation (ir.MemRef), locality-analysis ordering
+// arcs between predicted-miss and predicted-hit loads of a reuse group, and
+// the control constraints of trace scheduling.
+package dag
+
+import (
+	"repro/internal/ir"
+)
+
+// Node is one instruction in the DAG.
+type Node struct {
+	// Index is the node's position in Graph.Nodes and in the region's
+	// original instruction order.
+	Index int
+	// Instr is the underlying instruction.
+	Instr *ir.Instr
+	// Succs and Preds are dependence edges (successor = must come later).
+	Succs, Preds []*Node
+	// Weight is the scheduling latency estimate assigned by the weight
+	// policy (traditional or balanced); see internal/sched.
+	Weight int
+	// Priority is weight + max successor priority (critical path length).
+	Priority int
+}
+
+// Graph is the dependence DAG over one scheduling region.
+type Graph struct {
+	// Nodes holds the region's instructions in original order.
+	Nodes []*Node
+
+	edge map[[2]int]bool
+}
+
+// addEdge inserts a dependence from a to b (a must precede b), ignoring
+// self-edges and duplicates.
+func (g *Graph) addEdge(a, b *Node) {
+	if a == b {
+		return
+	}
+	k := [2]int{a.Index, b.Index}
+	if g.edge[k] {
+		return
+	}
+	g.edge[k] = true
+	a.Succs = append(a.Succs, b)
+	b.Preds = append(b.Preds, a)
+}
+
+// HasEdge reports whether a direct dependence a→b exists.
+func (g *Graph) HasEdge(a, b *Node) bool { return g.edge[[2]int{a.Index, b.Index}] }
+
+// Options configure DAG construction.
+type Options struct {
+	// Trace enables trace-scheduling mode: branches inside the region are
+	// kept in order relative to each other but other instructions may
+	// move across them subject to speculation/liveness rules enforced by
+	// internal/trace. When false (basic-block mode), every instruction
+	// is ordered before the terminating branch.
+	Trace bool
+	// LiveOutOffTrace reports, for a branch node index and a register,
+	// whether the register is live when the branch leaves the trace;
+	// instructions defining such registers may not move above the branch.
+	// Only consulted in Trace mode. A nil function blocks all upward
+	// motion across branches.
+	LiveOutOffTrace func(branchIdx int, r ir.Reg) bool
+	// HomeOf gives each instruction's home position (its block's index
+	// within the trace); required when Joins is non-empty.
+	HomeOf func(i int) int
+	// Joins lists trace-block positions that have off-trace predecessors.
+	// For each join boundary k, branches originating at or below k are
+	// fenced below every instruction originating above k, so the join's
+	// re-entry label always lands above those branches (non-branch
+	// instructions may still move above the label, paid for with
+	// compensation code on the joining edges).
+	Joins []int
+}
+
+// Build constructs the dependence DAG for the instruction sequence instrs.
+func Build(instrs []*ir.Instr, opts Options) *Graph {
+	g := &Graph{edge: make(map[[2]int]bool)}
+	g.Nodes = make([]*Node, len(instrs))
+	for i, in := range instrs {
+		g.Nodes[i] = &Node{Index: i, Instr: in}
+	}
+
+	g.addRegisterEdges()
+	g.addMemoryEdges()
+	g.addLocalityEdges()
+	g.addControlEdges(opts)
+	return g
+}
+
+// addRegisterEdges adds true (RAW), anti (WAR) and output (WAW) register
+// dependences.
+func (g *Graph) addRegisterEdges() {
+	lastDef := map[ir.Reg]*Node{}
+	lastUses := map[ir.Reg][]*Node{}
+	var buf [3]ir.Reg
+	for _, n := range g.Nodes {
+		uses := n.Instr.Uses(buf[:0])
+		for _, r := range uses {
+			if d := lastDef[r]; d != nil {
+				g.addEdge(d, n) // RAW
+			}
+		}
+		if d := n.Instr.Def(); d != ir.NoReg {
+			if prev := lastDef[d]; prev != nil {
+				g.addEdge(prev, n) // WAW
+			}
+			for _, u := range lastUses[d] {
+				g.addEdge(u, n) // WAR
+			}
+			lastDef[d] = n
+			lastUses[d] = nil
+		}
+		for _, r := range uses {
+			lastUses[r] = append(lastUses[r], n)
+		}
+	}
+}
+
+// addMemoryEdges adds store→load, load→store and store→store dependences
+// between references that the MemRef disambiguator cannot prove disjoint.
+func (g *Graph) addMemoryEdges() {
+	var mems []*Node
+	for _, n := range g.Nodes {
+		if n.Instr.Op.IsMem() {
+			mems = append(mems, n)
+		}
+	}
+	for i, a := range mems {
+		for _, b := range mems[i+1:] {
+			if a.Instr.Op.IsLoad() && b.Instr.Op.IsLoad() {
+				continue // loads commute
+			}
+			if a.Instr.Mem.Conflicts(b.Instr.Mem) {
+				g.addEdge(a, b)
+			}
+		}
+	}
+}
+
+// addLocalityEdges orders predicted-miss loads before the predicted-hit
+// loads of the same reuse group, so scheduling cannot float a hit above
+// the miss that fetches its cache line (paper Section 4.2).
+func (g *Graph) addLocalityEdges() {
+	groups := map[int][]*Node{}
+	for _, n := range g.Nodes {
+		if n.Instr.Op.IsLoad() && n.Instr.Mem != nil && n.Instr.Mem.Group >= 0 {
+			groups[n.Instr.Mem.Group] = append(groups[n.Instr.Mem.Group], n)
+		}
+	}
+	for _, ns := range groups {
+		for _, miss := range ns {
+			if miss.Instr.Hint != ir.HintMiss {
+				continue
+			}
+			for _, hit := range ns {
+				if hit.Instr.Hint == ir.HintHit && hit.Index > miss.Index {
+					g.addEdge(miss, hit)
+				}
+			}
+		}
+	}
+}
+
+// addControlEdges constrains motion across branches. In basic-block mode
+// every instruction precedes the terminating branch. In trace mode:
+// branches stay mutually ordered; stores never cross a branch in either
+// direction (moving one down would require split compensation, moving one
+// up is unsafe speculation — the Multiflow rules the paper describes);
+// non-speculable instructions and instructions whose result is live on the
+// branch's off-trace path may not move above the branch.
+func (g *Graph) addControlEdges(opts Options) {
+	var branches []*Node
+	for _, n := range g.Nodes {
+		if n.Instr.Op.IsBranch() {
+			branches = append(branches, n)
+		}
+	}
+	if len(branches) == 0 {
+		return
+	}
+	if !opts.Trace {
+		br := branches[len(branches)-1]
+		for _, n := range g.Nodes {
+			if n != br {
+				g.addEdge(n, br)
+			}
+		}
+		return
+	}
+
+	// Keep branches in order.
+	for i := 0; i+1 < len(branches); i++ {
+		g.addEdge(branches[i], branches[i+1])
+	}
+	// The trace's final terminator is pinned last: anything scheduled
+	// after it would never execute.
+	if last := g.Nodes[len(g.Nodes)-1]; last.Instr.Op.IsBranch() {
+		for _, n := range g.Nodes {
+			if n != last {
+				g.addEdge(n, last)
+			}
+		}
+	}
+	// Join barriers (see Options.Joins).
+	for _, k := range opts.Joins {
+		for _, br := range branches {
+			if opts.HomeOf(br.Index) < k {
+				continue
+			}
+			for _, n := range g.Nodes {
+				if n != br && opts.HomeOf(n.Index) < k {
+					g.addEdge(n, br)
+				}
+			}
+		}
+	}
+	for _, br := range branches {
+		for _, n := range g.Nodes {
+			if n == br || n.Instr.Op.IsBranch() {
+				continue
+			}
+			if n.Index < br.Index {
+				// n originates above the branch. It must not sink below
+				// the split when the off-trace path would miss its
+				// effect: stores always (the off-trace path expects the
+				// memory write), and definitions of registers live on
+				// the off-trace path. Multiflow restricts this motion
+				// rather than emitting split compensation.
+				if n.Instr.Op.IsStore() {
+					g.addEdge(n, br)
+					continue
+				}
+				if d := n.Instr.Def(); d != ir.NoReg {
+					if opts.LiveOutOffTrace == nil || opts.LiveOutOffTrace(br.Index, d) {
+						g.addEdge(n, br)
+					}
+				}
+			} else {
+				// n originates below the branch: moving it above the
+				// branch is speculation. Disallow for unsafe ops and
+				// for definitions live on the off-trace path.
+				if !n.Instr.Op.CanSpeculate() {
+					g.addEdge(br, n)
+					continue
+				}
+				if d := n.Instr.Def(); d != ir.NoReg {
+					if opts.LiveOutOffTrace == nil || opts.LiveOutOffTrace(br.Index, d) {
+						g.addEdge(br, n)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Loads returns the DAG's load nodes in original order.
+func (g *Graph) Loads() []*Node {
+	var ls []*Node
+	for _, n := range g.Nodes {
+		if n.Instr.Op.IsLoad() {
+			ls = append(ls, n)
+		}
+	}
+	return ls
+}
+
+// Reach computes forward reachability from node a: reach[i] is true when a
+// dependence path a→...→i exists. The result includes a itself.
+func (g *Graph) Reach(a *Node) []bool {
+	seen := make([]bool, len(g.Nodes))
+	var stack []*Node
+	seen[a.Index] = true
+	stack = append(stack, a)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range n.Succs {
+			if !seen[s.Index] {
+				seen[s.Index] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// ReachBack computes backward reachability to node a (its ancestors,
+// including a itself).
+func (g *Graph) ReachBack(a *Node) []bool {
+	seen := make([]bool, len(g.Nodes))
+	var stack []*Node
+	seen[a.Index] = true
+	stack = append(stack, a)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range n.Preds {
+			if !seen[p.Index] {
+				seen[p.Index] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return seen
+}
+
+// ComputePriorities fills Priority from Weight: priority = weight + max
+// over successors of their priority (the longest weighted path to the
+// region end). Weights must be set first.
+func (g *Graph) ComputePriorities() {
+	// Process in reverse topological order; node indices are a valid
+	// topological order only for the original sequence, but edges may
+	// only go from lower to higher index by construction, so reverse
+	// index order works.
+	for i := len(g.Nodes) - 1; i >= 0; i-- {
+		n := g.Nodes[i]
+		max := 0
+		for _, s := range n.Succs {
+			if s.Priority > max {
+				max = s.Priority
+			}
+		}
+		n.Priority = n.Weight + max
+	}
+}

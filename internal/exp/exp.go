@@ -1,0 +1,202 @@
+// Package exp runs the paper's experiment grid and regenerates its tables.
+// Each benchmark is compiled and simulated under every scheduling
+// configuration the evaluation section uses — traditional and balanced
+// scheduling crossed with loop unrolling (4, 8), trace scheduling and
+// locality analysis — and the per-cell metrics are aggregated into the
+// paper's Tables 4 through 9. Output correctness is enforced on every
+// cell: a configuration whose simulated output differs from the reference
+// interpreter's fails the run.
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Cells returns the experiment grid: the 16 configurations the paper's
+// tables draw from. Traditional scheduling has no locality-analysis cells
+// (the paper notes locality analysis has no traditional counterpart, since
+// traditional scheduling uses a single load latency).
+func Cells() []core.Config {
+	bal := sched.Balanced
+	trad := sched.Traditional
+	return []core.Config{
+		{Policy: trad},
+		{Policy: trad, Unroll: 4},
+		{Policy: trad, Unroll: 8},
+		{Policy: trad, Trace: true, Unroll: 4},
+		{Policy: trad, Trace: true, Unroll: 8},
+		{Policy: bal},
+		{Policy: bal, Unroll: 4},
+		{Policy: bal, Unroll: 8},
+		{Policy: bal, Trace: true},
+		{Policy: bal, Trace: true, Unroll: 4},
+		{Policy: bal, Trace: true, Unroll: 8},
+		{Policy: bal, Locality: true},
+		{Policy: bal, Locality: true, Unroll: 4},
+		{Policy: bal, Locality: true, Unroll: 8},
+		{Policy: bal, Locality: true, Trace: true, Unroll: 4},
+		{Policy: bal, Locality: true, Trace: true, Unroll: 8},
+	}
+}
+
+// Result is the outcome of one (benchmark, configuration) cell.
+type Result struct {
+	// Bench is the benchmark name.
+	Bench string
+	// Config is the compilation configuration.
+	Config core.Config
+	// Metrics are the simulation measurements.
+	Metrics *sim.Metrics
+	// Static carries compile-time phase reports.
+	Static *core.Compiled
+}
+
+// Suite holds a full grid of results.
+type Suite struct {
+	// Benchmarks lists benchmark names in table order.
+	Benchmarks []string
+
+	mu      sync.Mutex
+	results map[string]map[string]*Result // bench -> config name -> result
+}
+
+// Get returns the result for (bench, cfg), or nil.
+func (s *Suite) Get(bench string, cfg core.Config) *Result {
+	return s.results[bench][cfg.Name()]
+}
+
+// metrics is a convenience accessor that panics on a missing cell —
+// callers iterate over the same grid Run filled.
+func (s *Suite) metrics(bench string, cfg core.Config) *sim.Metrics {
+	r := s.Get(bench, cfg)
+	if r == nil {
+		panic(fmt.Sprintf("exp: missing cell %s/%s", bench, cfg.Name()))
+	}
+	return r.Metrics
+}
+
+// Run executes the whole grid for the given benchmarks (all benchmarks
+// when names is empty), in parallel across benchmarks. Progress, when
+// non-nil, receives one line per completed benchmark.
+func Run(names []string, progress func(string)) (*Suite, error) {
+	var benches []workload.Benchmark
+	if len(names) == 0 {
+		benches = workload.All()
+	} else {
+		for _, n := range names {
+			b, err := workload.ByName(n)
+			if err != nil {
+				return nil, err
+			}
+			benches = append(benches, b)
+		}
+	}
+	s := &Suite{results: map[string]map[string]*Result{}}
+	for _, b := range benches {
+		s.Benchmarks = append(s.Benchmarks, b.Name)
+		s.results[b.Name] = map[string]*Result{}
+	}
+
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	errs := make([]error, len(benches))
+	for bi, b := range benches {
+		wg.Add(1)
+		go func(bi int, b workload.Benchmark) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[bi] = s.runBenchmark(b)
+			if progress != nil {
+				progress(b.Name)
+			}
+		}(bi, b)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (s *Suite) runBenchmark(b workload.Benchmark) error {
+	p, d := b.Build()
+	want, err := core.Reference(p, d)
+	if err != nil {
+		return fmt.Errorf("exp: %s reference: %w", b.Name, err)
+	}
+	for _, cfg := range Cells() {
+		c, err := core.Compile(p, cfg, d)
+		if err != nil {
+			return fmt.Errorf("exp: %s %s: %w", b.Name, cfg.Name(), err)
+		}
+		met, got, err := core.Execute(c, d)
+		if err != nil {
+			return fmt.Errorf("exp: %s %s: %w", b.Name, cfg.Name(), err)
+		}
+		if got != want {
+			return fmt.Errorf("exp: %s %s: output checksum %x, want %x (miscompilation)", b.Name, cfg.Name(), got, want)
+		}
+		s.mu.Lock()
+		s.results[b.Name][cfg.Name()] = &Result{Bench: b.Name, Config: cfg, Metrics: met, Static: c}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// speedup returns base/new cycle ratio (>1 means new is faster).
+func speedup(base, new *sim.Metrics) float64 {
+	if new.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(new.Cycles)
+}
+
+// pctDecrease returns the percentage decrease from base to new.
+func pctDecrease(base, new int64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * float64(base-new) / float64(base)
+}
+
+// mean is the arithmetic mean, the paper's averaging convention for
+// speedups and percentages.
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t / float64(len(xs))
+}
+
+// sortedBenches returns the suite's benchmarks in stable order.
+func (s *Suite) sortedBenches() []string {
+	out := append([]string(nil), s.Benchmarks...)
+	sort.SliceStable(out, func(a, b int) bool {
+		return benchRank(out[a]) < benchRank(out[b])
+	})
+	return out
+}
+
+func benchRank(name string) int {
+	for i, b := range workload.All() {
+		if b.Name == name {
+			return i
+		}
+	}
+	return 1 << 30
+}

@@ -1,0 +1,293 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// subset keeps the grid small for test runtime while covering the three
+// behaviour archetypes: a stencil (unrolling + locality), a branchy
+// program (trace scheduling) and a sparse program (nothing applies).
+var subset = []string{"tomcatv", "DYFESM", "spice2g6"}
+
+func runSubset(t *testing.T) *Suite {
+	t.Helper()
+	s, err := Run(subset, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCellsComplete(t *testing.T) {
+	cells := Cells()
+	if len(cells) != 16 {
+		t.Fatalf("grid has %d cells, want 16", len(cells))
+	}
+	names := map[string]bool{}
+	for _, c := range cells {
+		n := c.Name()
+		if names[n] {
+			t.Errorf("duplicate cell %s", n)
+		}
+		names[n] = true
+		if c.Policy == sched.Traditional && c.Locality {
+			t.Errorf("cell %s: locality analysis has no traditional-scheduling counterpart", n)
+		}
+	}
+	for _, want := range []string{"BS", "TS", "BS+LU4", "BS+LU8", "TS+LU8",
+		"BS+TrS+LU8", "BS+LA", "BS+LA+TrS+LU8", "TS+TrS+LU4"} {
+		if !names[want] {
+			t.Errorf("grid missing cell %s", want)
+		}
+	}
+}
+
+func TestRunFillsGridAndVerifiesOutputs(t *testing.T) {
+	s := runSubset(t)
+	for _, b := range subset {
+		for _, cfg := range Cells() {
+			r := s.Get(b, cfg)
+			if r == nil {
+				t.Fatalf("missing cell %s/%s", b, cfg.Name())
+			}
+			if r.Metrics.Cycles == 0 || r.Metrics.Instrs == 0 {
+				t.Errorf("%s/%s: empty metrics", b, cfg.Name())
+			}
+		}
+	}
+}
+
+func TestRunRejectsUnknownBenchmark(t *testing.T) {
+	if _, err := Run([]string{"nope"}, nil); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	s := runSubset(t)
+	for i, tab := range s.Tables() {
+		if tab.Title == "" || len(tab.Header) == 0 || len(tab.Rows) == 0 {
+			t.Errorf("table %d empty", i+4)
+		}
+		var sb strings.Builder
+		tab.Write(&sb)
+		out := sb.String()
+		if !strings.Contains(out, tab.Header[0]) {
+			t.Errorf("table %d render missing header", i+4)
+		}
+		for _, b := range subset {
+			if i < 2 && !strings.Contains(out, b) {
+				t.Errorf("table %d missing row for %s", i+4, b)
+			}
+		}
+	}
+	for _, tab := range []*Table{Table1(), Table2(), Table3()} {
+		var sb strings.Builder
+		tab.Write(&sb)
+		if len(sb.String()) == 0 {
+			t.Error("static table rendered empty")
+		}
+	}
+}
+
+func TestTable1ListsSeventeenPrograms(t *testing.T) {
+	if got := len(Table1().Rows); got != 17 {
+		t.Errorf("Table 1 lists %d programs, want 17", got)
+	}
+}
+
+// TestPaperShapeSubset asserts the qualitative results the paper reports,
+// on the subset: tomcatv gains strongly from locality analysis; DYFESM is
+// hurt (or at best not helped) by trace scheduling relative to unrolling
+// alone; spice2g6 is insensitive to unrolling.
+func TestPaperShapeSubset(t *testing.T) {
+	s := runSubset(t)
+	bs := core.Config{Policy: sched.Balanced}
+	la := core.Config{Policy: sched.Balanced, Locality: true}
+	lu4 := core.Config{Policy: sched.Balanced, Unroll: 4}
+	trs4 := core.Config{Policy: sched.Balanced, Trace: true, Unroll: 4}
+
+	// tomcatv: LA ≥ 1.3 over BS alone (paper: 1.5).
+	tom0 := s.metrics("tomcatv", bs)
+	tomLA := s.metrics("tomcatv", la)
+	if sp := speedup(tom0, tomLA); sp < 1.3 {
+		t.Errorf("tomcatv locality speedup = %.2f, want >= 1.3", sp)
+	}
+
+	// DYFESM: trace scheduling must not beat plain unrolling by much —
+	// its branches are 50/50, the paper's trace-scheduling failure mode.
+	dyLU := s.metrics("DYFESM", lu4)
+	dyTr := s.metrics("DYFESM", trs4)
+	if sp := speedup(dyLU, dyTr); sp > 1.05 {
+		t.Errorf("DYFESM gained %.2f from trace scheduling; expected none", sp)
+	}
+
+	// spice2g6: unrolling must barely change the instruction count (the
+	// conditionals block it).
+	sp0 := s.metrics("spice2g6", bs)
+	sp4 := s.metrics("spice2g6", lu4)
+	if d := pctDecrease(sp0.Instrs, sp4.Instrs); d > 1 {
+		t.Errorf("spice2g6 instruction count fell %.1f%% under unrolling; expected ~0", d)
+	}
+
+	// spice2g6: load interlocks dominate under both schedulers.
+	ts := core.Config{Policy: sched.Traditional}
+	if s.metrics("spice2g6", bs).LoadInterlockShare() < 0.3 ||
+		s.metrics("spice2g6", ts).LoadInterlockShare() < 0.3 {
+		t.Error("spice2g6 load interlock share unexpectedly low")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if mean(nil) != 0 {
+		t.Error("mean(nil) != 0")
+	}
+	if mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean wrong")
+	}
+	if pctDecrease(0, 5) != 0 {
+		t.Error("pctDecrease division by zero")
+	}
+	if pctDecrease(100, 75) != 25 {
+		t.Error("pctDecrease wrong")
+	}
+}
+
+func TestExtensionTables(t *testing.T) {
+	e1, err := TableE1(subset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e1.Rows) != len(subset)+1 {
+		t.Errorf("E1 has %d rows, want %d", len(e1.Rows), len(subset)+1)
+	}
+	e2, err := TableE2(subset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e2.Rows) != len(subset)+1 {
+		t.Errorf("E2 has %d rows, want %d", len(e2.Rows), len(subset)+1)
+	}
+	e3, err := TableE3(subset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e3.Rows) != len(subset)+1 {
+		t.Errorf("E3 has %d rows, want %d", len(e3.Rows), len(subset)+1)
+	}
+	var sb strings.Builder
+	e1.Write(&sb)
+	e2.Write(&sb)
+	if !strings.Contains(sb.String(), "width 4") || !strings.Contains(sb.String(), "AUTO") {
+		t.Error("extension tables missing expected columns")
+	}
+}
+
+func TestExtensionRejectsUnknownBenchmark(t *testing.T) {
+	if _, err := RunE1([]string{"nope"}); err == nil {
+		t.Error("E1 accepted unknown benchmark")
+	}
+	if _, err := RunE2([]string{"nope"}); err == nil {
+		t.Error("E2 accepted unknown benchmark")
+	}
+	if _, err := RunE3([]string{"nope"}); err == nil {
+		t.Error("E3 accepted unknown benchmark")
+	}
+}
+
+// TestFullGridShape runs the complete 17-benchmark grid (about five
+// seconds) and asserts the paper's headline shape — the regression net
+// for the reproduction's claims. Skipped under -short.
+func TestFullGridShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid takes seconds; skipped with -short")
+	}
+	s, err := Run(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := func(f func(b string) float64) float64 {
+		t := 0.0
+		for _, b := range s.Benchmarks {
+			t += f(b)
+		}
+		return t / float64(len(s.Benchmarks))
+	}
+	bsVsTs := func(bs, ts core.Config) float64 {
+		return avg(func(b string) float64 {
+			return speedup(s.metrics(b, ts), s.metrics(b, bs))
+		})
+	}
+
+	// 1. Balanced scheduling's advantage must grow when unrolling adds
+	//    ILP (the paper's core claim), and never fall below break-even on
+	//    average.
+	noLU := bsVsTs(bsNone, tsNone)
+	lu4 := bsVsTs(bsLU4, tsLU4)
+	if noLU < 0.97 {
+		t.Errorf("BS/TS with no optimizations = %.3f; expected ≈1 or better", noLU)
+	}
+	if lu4 < noLU+0.05 {
+		t.Errorf("BS advantage did not grow with unrolling: %.3f -> %.3f", noLU, lu4)
+	}
+
+	// 2. Balanced scheduling's load-interlock share must sit well below
+	//    traditional scheduling's at every optimization level.
+	for _, lv := range [][2]core.Config{{bsNone, tsNone}, {bsLU4, tsLU4}, {bsLU8, tsLU8}, {bsTrS4, tsTrS4}, {bsTrS8, tsTrS8}} {
+		lv := lv
+		bsShare := avg(func(b string) float64 { return s.metrics(b, lv[0]).LoadInterlockShare() })
+		tsShare := avg(func(b string) float64 { return s.metrics(b, lv[1]).LoadInterlockShare() })
+		if bsShare > 0.85*tsShare {
+			t.Errorf("%s: BS load-interlock share %.1f%% not well below TS %.1f%%",
+				lv[0].Name(), 100*bsShare, 100*tsShare)
+		}
+	}
+
+	// 3. Unrolling by 8 must beat unrolling by 4 for balanced scheduling
+	//    (paper Table 4: 1.19 -> 1.28).
+	sp4 := avg(func(b string) float64 { return speedup(s.metrics(b, bsNone), s.metrics(b, bsLU4)) })
+	sp8 := avg(func(b string) float64 { return speedup(s.metrics(b, bsNone), s.metrics(b, bsLU8)) })
+	if sp8 <= sp4 {
+		t.Errorf("LU8 speedup %.2f not above LU4 %.2f", sp8, sp4)
+	}
+
+	// 4. Locality analysis must deliver real speedup on its own and
+	//    compound with unrolling (paper Table 9's relative column).
+	laAlone := avg(func(b string) float64 { return speedup(s.metrics(b, bsNone), s.metrics(b, bsLA)) })
+	la8 := avg(func(b string) float64 { return speedup(s.metrics(b, bsNone), s.metrics(b, bsLA8)) })
+	if laAlone < 1.1 {
+		t.Errorf("locality analysis alone = %.2f, want >= 1.1 (paper: 1.15)", laAlone)
+	}
+	if la8 < laAlone+0.1 {
+		t.Errorf("LA+LU8 %.2f does not compound over LA alone %.2f", la8, laAlone)
+	}
+
+	// 5. Per-benchmark signatures from the paper's narrative.
+	if sp := speedup(s.metrics("tomcatv", bsNone), s.metrics("tomcatv", bsLA)); sp < 1.3 {
+		t.Errorf("tomcatv locality speedup = %.2f, want >= 1.3", sp)
+	}
+	for _, frozen := range []string{"BDNA", "doduc", "mdljdp2", "ora", "spice2g6"} {
+		if d := pctDecrease(s.metrics(frozen, bsNone).Instrs, s.metrics(frozen, bsLU4).Instrs); d > 0.5 {
+			t.Errorf("%s: unrolling changed instruction count by %.1f%%; paper says it must not unroll", frozen, d)
+		}
+	}
+	swm4 := speedup(s.metrics("swm256", bsNone), s.metrics("swm256", bsLU4))
+	swm8 := speedup(s.metrics("swm256", bsNone), s.metrics("swm256", bsLU8))
+	if swm4 > 1.02 || swm8 < 1.2 {
+		t.Errorf("swm256 = %.2f/%.2f at LU4/LU8; paper: blocked at 4, unrolls at 8", swm4, swm8)
+	}
+	if sp := speedup(s.metrics("BDNA", tsNone), s.metrics("BDNA", bsNone)); sp < 1.0 {
+		t.Errorf("BDNA BS/TS = %.2f; its huge blocks should favour balanced scheduling", sp)
+	}
+}
+
+func TestSuiteGetMissing(t *testing.T) {
+	s := &Suite{results: map[string]map[string]*Result{}}
+	if s.Get("nothing", core.Config{}) != nil {
+		t.Error("missing cell returned a result")
+	}
+}

@@ -1,0 +1,245 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// This file implements the paper's stated future work (Section 6) as
+// extension experiments:
+//
+//   - E1: balanced vs traditional scheduling on wider-issue (superscalar)
+//     processors — "we intend to examine its effects on wider-issue
+//     (superscalar) processors that require considerable instruction-level
+//     parallelism to perform well".
+//   - E2: two remedies for the fixed-latency blind spot — a balanced
+//     variant whose weights account for multi-cycle fixed-latency
+//     operations, and a per-block scheduler-choice heuristic — "new
+//     techniques to better handle fixed, non-load interlock cycles within
+//     the framework of the balanced scheduling algorithm".
+//   - E3: selective software prefetching of the predicted-miss loads,
+//     closing the loop on Mowry, Lam and Gupta's original use of the
+//     locality analysis the paper borrows.
+
+// ExtResult is one benchmark's cycles per (policy, width) cell.
+type ExtResult struct {
+	// Bench is the benchmark name.
+	Bench string
+	// Cycles maps a cell label to simulated cycles.
+	Cycles map[string]int64
+}
+
+// RunE1 measures balanced vs traditional scheduling (with unrolling by 4)
+// at issue widths 1, 2 and 4 for the named benchmarks (all when empty).
+func RunE1(names []string) ([]ExtResult, error) {
+	benches, err := pick(names)
+	if err != nil {
+		return nil, err
+	}
+	var out []ExtResult
+	for _, b := range benches {
+		p, d := b.Build()
+		r := ExtResult{Bench: b.Name, Cycles: map[string]int64{}}
+		for _, policy := range []sched.Policy{sched.Traditional, sched.Balanced} {
+			cfg := core.Config{Policy: policy, Unroll: 4}
+			c, err := core.Compile(p, cfg, d)
+			if err != nil {
+				return nil, fmt.Errorf("exp: E1 %s %s: %w", b.Name, cfg.Name(), err)
+			}
+			for _, w := range []int{1, 2, 4} {
+				met, _, err := core.ExecuteWidth(c, d, w)
+				if err != nil {
+					return nil, fmt.Errorf("exp: E1 %s %s w%d: %w", b.Name, cfg.Name(), w, err)
+				}
+				r.Cycles[fmt.Sprintf("%s/w%d", cfg.Name(), w)] = met.Cycles
+			}
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// TableE1 renders E1: the BS-over-TS speedup at each issue width. The
+// paper's hypothesis is that wider issue, which needs more ILP, should
+// favour the scheduler that manages ILP explicitly.
+func TableE1(names []string) (*Table, error) {
+	results, err := RunE1(names)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Table E1 (extension): BS/TS speedup at issue widths 1, 2, 4 (with loop unrolling by 4).",
+		Header: []string{"Benchmark", "width 1", "width 2", "width 4"},
+	}
+	sums := make([]float64, 3)
+	for _, r := range results {
+		row := []string{r.Bench}
+		for wi, w := range []int{1, 2, 4} {
+			sp := float64(r.Cycles[fmt.Sprintf("TS+LU4/w%d", w)]) /
+				float64(r.Cycles[fmt.Sprintf("BS+LU4/w%d", w)])
+			row = append(row, f2(sp))
+			sums[wi] += sp
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	avg := []string{"AVERAGE"}
+	for _, s := range sums {
+		avg = append(avg, f2(s/float64(len(results))))
+	}
+	t.Rows = append(t.Rows, avg)
+	return t, nil
+}
+
+// RunE2 measures the four scheduler policies (traditional, balanced,
+// balanced-fixed, auto) with unrolling by 4 on the named benchmarks.
+func RunE2(names []string) ([]ExtResult, error) {
+	benches, err := pick(names)
+	if err != nil {
+		return nil, err
+	}
+	policies := []sched.Policy{sched.Traditional, sched.Balanced, sched.BalancedFixed, sched.Auto}
+	var out []ExtResult
+	for _, b := range benches {
+		p, d := b.Build()
+		want, err := core.Reference(p, d)
+		if err != nil {
+			return nil, err
+		}
+		r := ExtResult{Bench: b.Name, Cycles: map[string]int64{}}
+		for _, policy := range policies {
+			cfg := core.Config{Policy: policy, Unroll: 4}
+			c, err := core.Compile(p, cfg, d)
+			if err != nil {
+				return nil, fmt.Errorf("exp: E2 %s %s: %w", b.Name, cfg.Name(), err)
+			}
+			met, got, err := core.Execute(c, d)
+			if err != nil {
+				return nil, fmt.Errorf("exp: E2 %s %s: %w", b.Name, cfg.Name(), err)
+			}
+			if got != want {
+				return nil, fmt.Errorf("exp: E2 %s %s: wrong output", b.Name, cfg.Name())
+			}
+			r.Cycles[cfg.Name()] = met.Cycles
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// TableE2 renders E2: each policy's speedup over traditional scheduling.
+func TableE2(names []string) (*Table, error) {
+	results, err := RunE2(names)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Table E2 (extension): speedup over traditional scheduling per policy (with loop unrolling by 4).",
+		Header: []string{"Benchmark", "BS", "BF (fixed-aware)", "AUTO (per-block)"},
+	}
+	cols := []string{"BS+LU4", "BF+LU4", "AUTO+LU4"}
+	sums := make([]float64, len(cols))
+	for _, r := range results {
+		row := []string{r.Bench}
+		base := float64(r.Cycles["TS+LU4"])
+		for ci, c := range cols {
+			sp := base / float64(r.Cycles[c])
+			row = append(row, f2(sp))
+			sums[ci] += sp
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	avg := []string{"AVERAGE"}
+	for _, s := range sums {
+		avg = append(avg, f2(s/float64(len(results))))
+	}
+	t.Rows = append(t.Rows, avg)
+	return t, nil
+}
+
+func pick(names []string) ([]workload.Benchmark, error) {
+	if len(names) == 0 {
+		return workload.All(), nil
+	}
+	var out []workload.Benchmark
+	for _, n := range names {
+		b, err := workload.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// RunE3 measures selective software prefetching (the Mowry–Lam–Gupta
+// optimization the paper's locality analysis was built for) on top of
+// BS+LA+LU4, at issue widths 1 and 2: on the single-issue machine the
+// hint instructions compete for the only issue slot, so the benefit
+// appears once a second slot exists.
+func RunE3(names []string) ([]ExtResult, error) {
+	benches, err := pick(names)
+	if err != nil {
+		return nil, err
+	}
+	base := core.Config{Policy: sched.Balanced, Locality: true, Unroll: 4}
+	pf := core.Config{Policy: sched.Balanced, Locality: true, Prefetch: true, Unroll: 4}
+	var out []ExtResult
+	for _, b := range benches {
+		p, d := b.Build()
+		want, err := core.Reference(p, d)
+		if err != nil {
+			return nil, err
+		}
+		r := ExtResult{Bench: b.Name, Cycles: map[string]int64{}}
+		for _, cfg := range []core.Config{base, pf} {
+			c, err := core.Compile(p, cfg, d)
+			if err != nil {
+				return nil, fmt.Errorf("exp: E3 %s %s: %w", b.Name, cfg.Name(), err)
+			}
+			for _, w := range []int{1, 2} {
+				met, got, err := core.ExecuteWidth(c, d, w)
+				if err != nil {
+					return nil, fmt.Errorf("exp: E3 %s %s w%d: %w", b.Name, cfg.Name(), w, err)
+				}
+				if got != want {
+					return nil, fmt.Errorf("exp: E3 %s %s: wrong output", b.Name, cfg.Name())
+				}
+				r.Cycles[fmt.Sprintf("%s/w%d", cfg.Name(), w)] = met.Cycles
+			}
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// TableE3 renders E3: the speedup from adding prefetching at each width.
+func TableE3(names []string) (*Table, error) {
+	results, err := RunE3(names)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Table E3 (extension): speedup from selective software prefetching over BS+LA+LU4, at issue widths 1 and 2.",
+		Header: []string{"Benchmark", "width 1", "width 2"},
+	}
+	sums := make([]float64, 2)
+	for _, r := range results {
+		row := []string{r.Bench}
+		for wi, w := range []int{1, 2} {
+			sp := float64(r.Cycles[fmt.Sprintf("BS+LA+LU4/w%d", w)]) /
+				float64(r.Cycles[fmt.Sprintf("BS+LA+PF+LU4/w%d", w)])
+			row = append(row, f2(sp))
+			sums[wi] += sp
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	avg := []string{"AVERAGE"}
+	for _, s := range sums {
+		avg = append(avg, f2(s/float64(len(results))))
+	}
+	t.Rows = append(t.Rows, avg)
+	return t, nil
+}

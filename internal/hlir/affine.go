@@ -1,0 +1,141 @@
+package hlir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Affine is a linear form over integer scalar variables: C + Σ Terms[v]·v.
+// It is the analysis currency shared by address lowering (base/displacement
+// splitting) and locality analysis (stride and alignment reasoning).
+type Affine struct {
+	// C is the constant term.
+	C int64
+	// Terms maps variable names to coefficients (no zero entries).
+	Terms map[string]int64
+	// OK reports whether the analysed expression was affine at all.
+	OK bool
+}
+
+// AffineOf analyses an integer expression. Multiplication is admitted when
+// one side is constant; Mod, loads and floats make the form non-affine.
+func AffineOf(e Expr) Affine {
+	bad := Affine{}
+	switch e := e.(type) {
+	case *ConstI:
+		return Affine{C: e.V, OK: true}
+	case *Var:
+		if e.K != KInt {
+			return bad
+		}
+		return Affine{Terms: map[string]int64{e.Name: 1}, OK: true}
+	case *Bin:
+		x := AffineOf(e.X)
+		y := AffineOf(e.Y)
+		switch e.Op {
+		case OpAdd, OpSub:
+			if !x.OK || !y.OK {
+				return bad
+			}
+			sign := int64(1)
+			if e.Op == OpSub {
+				sign = -1
+			}
+			out := Affine{C: x.C + sign*y.C, OK: true, Terms: map[string]int64{}}
+			for v, co := range x.Terms {
+				out.Terms[v] += co
+			}
+			for v, co := range y.Terms {
+				out.Terms[v] += sign * co
+			}
+			return out.norm()
+		case OpMul:
+			if x.OK && len(x.Terms) == 0 {
+				x, y = y, x
+			}
+			if !x.OK || !y.OK || len(y.Terms) != 0 {
+				return bad
+			}
+			out := Affine{C: x.C * y.C, OK: true, Terms: map[string]int64{}}
+			for v, co := range x.Terms {
+				out.Terms[v] = co * y.C
+			}
+			return out.norm()
+		}
+		return bad
+	default:
+		return bad
+	}
+}
+
+func (a Affine) norm() Affine {
+	for v, co := range a.Terms {
+		if co == 0 {
+			delete(a.Terms, v)
+		}
+	}
+	return a
+}
+
+// Coeff returns the coefficient of variable v (zero if absent).
+func (a Affine) Coeff(v string) int64 { return a.Terms[v] }
+
+// IsConst reports whether the form has no variable terms.
+func (a Affine) IsConst() bool { return a.OK && len(a.Terms) == 0 }
+
+// Key canonicalises the variable part of the form, for CSE and base-ID
+// naming; two forms with equal Key differ only by their constant.
+func (a Affine) Key() string {
+	vs := make([]string, 0, len(a.Terms))
+	for v := range a.Terms {
+		vs = append(vs, v)
+	}
+	sort.Strings(vs)
+	var b strings.Builder
+	for _, v := range vs {
+		fmt.Fprintf(&b, "%s*%d;", v, a.Terms[v])
+	}
+	return b.String()
+}
+
+// Vars returns the form's variables in sorted order.
+func (a Affine) Vars() []string {
+	vs := make([]string, 0, len(a.Terms))
+	for v := range a.Terms {
+		vs = append(vs, v)
+	}
+	sort.Strings(vs)
+	return vs
+}
+
+// DropVar returns the form with variable v removed (its term deleted).
+func (a Affine) DropVar(v string) Affine {
+	out := Affine{C: a.C, OK: a.OK, Terms: map[string]int64{}}
+	for k, co := range a.Terms {
+		if k != v {
+			out.Terms[k] = co
+		}
+	}
+	return out
+}
+
+// LinearAffine computes the affine form of the reference's linear element
+// index (row-major). It reports !OK when any index expression is
+// non-affine.
+func (r *Ref) LinearAffine() Affine {
+	lin := Affine{OK: true, Terms: map[string]int64{}}
+	stride := int64(1)
+	for d := len(r.Idx) - 1; d >= 0; d-- {
+		ia := AffineOf(r.Idx[d])
+		if !ia.OK {
+			return Affine{}
+		}
+		lin.C += ia.C * stride
+		for v, co := range ia.Terms {
+			lin.Terms[v] += co * stride
+		}
+		stride *= int64(r.A.Dims[d])
+	}
+	return lin.norm()
+}

@@ -1,0 +1,134 @@
+package hlir
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAffineOfBasics(t *testing.T) {
+	i, j := IV("i"), IV("j")
+	tests := []struct {
+		e     Expr
+		c     int64
+		terms map[string]int64
+		ok    bool
+	}{
+		{I(5), 5, nil, true},
+		{i, 0, map[string]int64{"i": 1}, true},
+		{Add(i, I(3)), 3, map[string]int64{"i": 1}, true},
+		{Sub(Mul(I(4), i), j), 0, map[string]int64{"i": 4, "j": -1}, true},
+		{Mul(i, I(0)), 0, nil, true},           // zero term dropped
+		{Sub(i, i), 0, nil, true},              // cancellation
+		{Mul(i, j), 0, nil, false},             // nonlinear
+		{Mod(i, I(4)), 0, nil, false},          // mod is not affine
+		{Add(FV("x"), FV("y")), 0, nil, false}, // floats are not affine
+	}
+	for k, tt := range tests {
+		a := AffineOf(tt.e)
+		if a.OK != tt.ok {
+			t.Errorf("case %d: OK = %v, want %v", k, a.OK, tt.ok)
+			continue
+		}
+		if !tt.ok {
+			continue
+		}
+		if a.C != tt.c {
+			t.Errorf("case %d: C = %d, want %d", k, a.C, tt.c)
+		}
+		if len(a.Terms) != len(tt.terms) {
+			t.Errorf("case %d: terms = %v, want %v", k, a.Terms, tt.terms)
+			continue
+		}
+		for v, co := range tt.terms {
+			if a.Terms[v] != co {
+				t.Errorf("case %d: coeff(%s) = %d, want %d", k, v, a.Terms[v], co)
+			}
+		}
+	}
+}
+
+// randomAffineExpr builds a random integer expression from +,-,*const over
+// two variables; it is affine by construction.
+func randomAffineExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return I(int64(rng.Intn(21) - 10))
+		case 1:
+			return IV("i")
+		default:
+			return IV("j")
+		}
+	}
+	x := randomAffineExpr(rng, depth-1)
+	y := randomAffineExpr(rng, depth-1)
+	switch rng.Intn(3) {
+	case 0:
+		return Add(x, y)
+	case 1:
+		return Sub(x, y)
+	default:
+		return Mul(x, I(int64(rng.Intn(7)-3)))
+	}
+}
+
+// TestAffineMatchesEvaluation is the semantic property: for random affine
+// expressions and random variable values, the affine form evaluates to the
+// same number as the interpreter.
+func TestAffineMatchesEvaluation(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	p := &Program{Name: "aff"}
+	for trial := 0; trial < 300; trial++ {
+		e := randomAffineExpr(rng, 1+rng.Intn(3))
+		a := AffineOf(e)
+		if !a.OK {
+			t.Fatalf("trial %d: affine-by-construction expr rejected: %s", trial, ExprString(e))
+		}
+		it := NewInterp(p)
+		iv := int64(rng.Intn(41) - 20)
+		jv := int64(rng.Intn(41) - 20)
+		it.ivars["i"] = iv
+		it.ivars["j"] = jv
+		got, err := it.evalI(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := a.C + a.Terms["i"]*iv + a.Terms["j"]*jv
+		if got != want {
+			t.Fatalf("trial %d: interp %d, affine %d for %s", trial, got, want, ExprString(e))
+		}
+	}
+}
+
+func TestAffineKeyIgnoresConstant(t *testing.T) {
+	property := func(c1, c2 int16) bool {
+		a := AffineOf(Add(IV("i"), I(int64(c1))))
+		b := AffineOf(Add(IV("i"), I(int64(c2))))
+		return a.Key() == b.Key()
+	}
+	if err := quick.Check(property, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAffineDropVar(t *testing.T) {
+	a := AffineOf(Add(Mul(I(3), IV("i")), Add(IV("j"), I(7))))
+	d := a.DropVar("i")
+	if d.Coeff("i") != 0 || d.Coeff("j") != 1 || d.C != 7 {
+		t.Errorf("DropVar result: %+v", d)
+	}
+	if a.Coeff("i") != 3 {
+		t.Error("DropVar mutated the original")
+	}
+}
+
+func TestLinearAffineRowMajor(t *testing.T) {
+	p := &Program{}
+	a := p.NewArray("A", KFloat, 10, 20)
+	r := At(a, Add(IV("i"), I(1)), Mul(I(2), IV("j")))
+	lin := r.LinearAffine()
+	if !lin.OK || lin.C != 20 || lin.Coeff("i") != 20 || lin.Coeff("j") != 2 {
+		t.Errorf("linear form: %+v", lin)
+	}
+}

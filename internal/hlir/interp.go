@@ -1,0 +1,370 @@
+package hlir
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interp is a direct tree-walking evaluator for HLIR programs. It is the
+// reference semantics: the compilation pipeline (lower → optimize →
+// schedule → allocate → simulate) must compute exactly the same array
+// contents, which the integration tests enforce for every benchmark and
+// optimization configuration.
+type Interp struct {
+	// F holds float-array storage, I int-array storage.
+	F map[*Array][]float64
+	I map[*Array][]int64
+
+	ivars map[string]int64
+	fvars map[string]float64
+}
+
+// NewInterp allocates zeroed storage for every array of p.
+func NewInterp(p *Program) *Interp {
+	it := &Interp{
+		F:     map[*Array][]float64{},
+		I:     map[*Array][]int64{},
+		ivars: map[string]int64{},
+		fvars: map[string]float64{},
+	}
+	for _, a := range p.Arrays {
+		if a.Elem == KFloat {
+			it.F[a] = make([]float64, a.Len())
+		} else {
+			it.I[a] = make([]int64, a.Len())
+		}
+	}
+	return it
+}
+
+// Run executes the program body.
+func (it *Interp) Run(p *Program) error {
+	return it.stmts(p.Body)
+}
+
+func (it *Interp) stmts(body []Stmt) error {
+	for _, st := range body {
+		if err := it.stmt(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (it *Interp) stmt(st Stmt) error {
+	switch st := st.(type) {
+	case *Assign:
+		switch lhs := st.LHS.(type) {
+		case *Var:
+			if lhs.K == KFloat {
+				v, err := it.evalF(st.RHS)
+				if err != nil {
+					return err
+				}
+				it.fvars[lhs.Name] = v
+			} else {
+				v, err := it.evalI(st.RHS)
+				if err != nil {
+					return err
+				}
+				it.ivars[lhs.Name] = v
+			}
+			return nil
+		case *Ref:
+			idx, err := it.linearIndex(lhs)
+			if err != nil {
+				return err
+			}
+			if lhs.A.Elem == KFloat {
+				v, err := it.evalF(st.RHS)
+				if err != nil {
+					return err
+				}
+				it.F[lhs.A][idx] = v
+			} else {
+				v, err := it.evalI(st.RHS)
+				if err != nil {
+					return err
+				}
+				it.I[lhs.A][idx] = v
+			}
+			return nil
+		default:
+			return fmt.Errorf("interp: bad assignment target %T", st.LHS)
+		}
+	case *Loop:
+		lo, err := it.evalI(st.Lo)
+		if err != nil {
+			return err
+		}
+		hi, err := it.evalI(st.Hi)
+		if err != nil {
+			return err
+		}
+		if st.Step <= 0 {
+			return fmt.Errorf("interp: loop %s step %d", st.Var, st.Step)
+		}
+		for i := lo; i < hi; i += int64(st.Step) {
+			it.ivars[st.Var] = i
+			if err := it.stmts(st.Body); err != nil {
+				return err
+			}
+			// The body may assign the induction variable (lowered code
+			// does not, but keep semantics aligned: the loop counter is
+			// reloaded each iteration from the for-loop state).
+		}
+		// Mirror lowered semantics: after the loop the variable holds the
+		// first value ≥ hi (or lo if the loop never ran).
+		if lo < hi {
+			n := (hi - lo + int64(st.Step) - 1) / int64(st.Step)
+			it.ivars[st.Var] = lo + n*int64(st.Step)
+		} else {
+			it.ivars[st.Var] = lo
+		}
+		return nil
+	case *If:
+		c, err := it.evalI(st.Cond)
+		if err != nil {
+			return err
+		}
+		if c != 0 {
+			return it.stmts(st.Then)
+		}
+		return it.stmts(st.Else)
+	case *Prefetch:
+		return nil // timing hint only; may even run past the array
+	default:
+		return fmt.Errorf("interp: unknown statement %T", st)
+	}
+}
+
+func (it *Interp) linearIndex(r *Ref) (int64, error) {
+	if len(r.Idx) != len(r.A.Dims) {
+		return 0, fmt.Errorf("interp: %s referenced with %d indices, has %d dims", r.A.Name, len(r.Idx), len(r.A.Dims))
+	}
+	var lin int64
+	for d, e := range r.Idx {
+		v, err := it.evalI(e)
+		if err != nil {
+			return 0, err
+		}
+		if v < 0 || v >= int64(r.A.Dims[d]) {
+			return 0, fmt.Errorf("interp: %s index %d out of range [0,%d) in dim %d", r.A.Name, v, r.A.Dims[d], d)
+		}
+		lin = lin*int64(r.A.Dims[d]) + v
+	}
+	return lin, nil
+}
+
+func (it *Interp) evalI(e Expr) (int64, error) {
+	switch e := e.(type) {
+	case *ConstI:
+		return e.V, nil
+	case *Var:
+		if e.K != KInt {
+			return 0, fmt.Errorf("interp: float scalar %s in int context", e.Name)
+		}
+		return it.ivars[e.Name], nil
+	case *Ref:
+		if e.A.Elem != KInt {
+			return 0, fmt.Errorf("interp: float array %s in int context", e.A.Name)
+		}
+		idx, err := it.linearIndex(e)
+		if err != nil {
+			return 0, err
+		}
+		return it.I[e.A][idx], nil
+	case *Bin:
+		if e.Op.IsCmp() {
+			return it.evalCmp(e)
+		}
+		x, err := it.evalI(e.X)
+		if err != nil {
+			return 0, err
+		}
+		y, err := it.evalI(e.Y)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case OpAdd:
+			return x + y, nil
+		case OpSub:
+			return x - y, nil
+		case OpMul:
+			return x * y, nil
+		case OpMod:
+			if y <= 0 || y&(y-1) != 0 {
+				return 0, fmt.Errorf("interp: %% by %d", y)
+			}
+			return x & (y - 1), nil
+		default:
+			return 0, fmt.Errorf("interp: operator %v not valid on ints", e.Op)
+		}
+	case *Un:
+		switch e.Op {
+		case OpNeg:
+			x, err := it.evalI(e.X)
+			if err != nil {
+				return 0, err
+			}
+			return -x, nil
+		case OpCvtFI:
+			x, err := it.evalF(e.X)
+			if err != nil {
+				return 0, err
+			}
+			return int64(x), nil
+		default:
+			return 0, fmt.Errorf("interp: unary %d not valid on ints", e.Op)
+		}
+	default:
+		return 0, fmt.Errorf("interp: unknown int expression %T", e)
+	}
+}
+
+func (it *Interp) evalCmp(e *Bin) (int64, error) {
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	if e.X.Kind() == KFloat {
+		x, err := it.evalF(e.X)
+		if err != nil {
+			return 0, err
+		}
+		y, err := it.evalF(e.Y)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case OpEq:
+			return b2i(x == y), nil
+		case OpNe:
+			return b2i(x != y), nil
+		case OpLt:
+			return b2i(x < y), nil
+		case OpLe:
+			return b2i(x <= y), nil
+		}
+		return 0, fmt.Errorf("interp: bad float comparison %v", e.Op)
+	}
+	x, err := it.evalI(e.X)
+	if err != nil {
+		return 0, err
+	}
+	y, err := it.evalI(e.Y)
+	if err != nil {
+		return 0, err
+	}
+	switch e.Op {
+	case OpEq:
+		return b2i(x == y), nil
+	case OpNe:
+		return b2i(x != y), nil
+	case OpLt:
+		return b2i(x < y), nil
+	case OpLe:
+		return b2i(x <= y), nil
+	}
+	return 0, fmt.Errorf("interp: bad int comparison %v", e.Op)
+}
+
+func (it *Interp) evalF(e Expr) (float64, error) {
+	switch e := e.(type) {
+	case *ConstF:
+		return e.V, nil
+	case *Var:
+		if e.K != KFloat {
+			return 0, fmt.Errorf("interp: int scalar %s in float context", e.Name)
+		}
+		return it.fvars[e.Name], nil
+	case *Ref:
+		if e.A.Elem != KFloat {
+			return 0, fmt.Errorf("interp: int array %s in float context", e.A.Name)
+		}
+		idx, err := it.linearIndex(e)
+		if err != nil {
+			return 0, err
+		}
+		return it.F[e.A][idx], nil
+	case *Bin:
+		x, err := it.evalF(e.X)
+		if err != nil {
+			return 0, err
+		}
+		y, err := it.evalF(e.Y)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case OpAdd:
+			return x + y, nil
+		case OpSub:
+			return x - y, nil
+		case OpMul:
+			return x * y, nil
+		case OpDiv:
+			return x / y, nil
+		default:
+			return 0, fmt.Errorf("interp: operator %v not valid on floats", e.Op)
+		}
+	case *Un:
+		switch e.Op {
+		case OpCvtIF:
+			x, err := it.evalI(e.X)
+			if err != nil {
+				return 0, err
+			}
+			return float64(x), nil
+		case OpNeg:
+			x, err := it.evalF(e.X)
+			if err != nil {
+				return 0, err
+			}
+			return -x, nil
+		case OpSqrt:
+			x, err := it.evalF(e.X)
+			if err != nil {
+				return 0, err
+			}
+			return math.Sqrt(x), nil
+		case OpAbs:
+			x, err := it.evalF(e.X)
+			if err != nil {
+				return 0, err
+			}
+			return math.Abs(x), nil
+		default:
+			return 0, fmt.Errorf("interp: unary %d not valid on floats", e.Op)
+		}
+	default:
+		return 0, fmt.Errorf("interp: unknown float expression %T", e)
+	}
+}
+
+// Checksum hashes the program's output arrays (FNV-1a over the raw bits),
+// providing the cross-configuration equivalence token the tests compare.
+func (it *Interp) Checksum(p *Program) uint64 {
+	var h uint64 = 14695981039346656037
+	mix := func(bits uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (bits >> (8 * i)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	for _, a := range p.Outputs {
+		if a.Elem == KFloat {
+			for _, v := range it.F[a] {
+				mix(math.Float64bits(v))
+			}
+		} else {
+			for _, v := range it.I[a] {
+				mix(uint64(v))
+			}
+		}
+	}
+	return h
+}

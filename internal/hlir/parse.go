@@ -1,0 +1,627 @@
+package hlir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/ir"
+)
+
+// Parse reads a program in the notation Program.String emits — the C-like
+// pseudocode of the paper's figures — and returns the HLIR program. The
+// printer and parser round-trip: Parse(p.String()) reproduces p's
+// structure exactly (including locality hit/miss marks), which the tests
+// verify across the entire workload.
+//
+// Grammar sketch:
+//
+//	program   := "program" name decl* stmt*
+//	decl      := "var" name ("float"|"int") ("[" int "]")+
+//	           | "output" name ("," name)*
+//	stmt      := lvalue "=" expr ";"
+//	           | "for" "(" id "=" expr ";" id "<" expr ";" step ")" block
+//	           | "if" "(" expr ")" block ("else" block)?
+//	step      := id "++" | id "+=" int
+//	expr      := "(" expr binop expr ")" | "-" expr | call | ref | num | id
+//	call      := ("sqrt"|"abs"|"float"|"int") "(" expr ")"
+//	ref       := name ("[" expr "]")+ ("/*miss*/"|"/*hit*/")?
+//
+// Scalar kinds are inferred: loop indices are integers, other scalars take
+// the kind of the first expression assigned to or compared with them;
+// numeric literals are integers unless written with a '.' or exponent.
+func Parse(src string) (*Program, error) {
+	p := &parser{lex: newLexer(src), kinds: map[string]Kind{}}
+	prog, err := p.program()
+	if err != nil {
+		return nil, fmt.Errorf("hlir: parse: %w", err)
+	}
+	return prog, nil
+}
+
+// ----- lexer -----
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tInt
+	tFloat
+	tPunct // single/multi char punctuation: ( ) [ ] { } ; , = ++ += < <= == != % + - * /
+	tHint  // /*miss*/ or /*hit*/
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+func newLexer(src string) *lexer {
+	l := &lexer{src: src, line: 1}
+	l.tokenize()
+	return l
+}
+
+func (l *lexer) tokenize() {
+	s := l.src
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == '\n':
+			l.line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case strings.HasPrefix(s[i:], "/*miss*/"), strings.HasPrefix(s[i:], "/*hit*/"):
+			end := strings.Index(s[i:], "*/") + 2
+			l.toks = append(l.toks, token{tHint, s[i : i+end], l.line})
+			i += end
+		case strings.HasPrefix(s[i:], "//"):
+			for i < len(s) && s[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(s) && (unicode.IsLetter(rune(s[j])) || unicode.IsDigit(rune(s[j])) || s[j] == '_' || s[j] == '#') {
+				j++
+			}
+			l.toks = append(l.toks, token{tIdent, s[i:j], l.line})
+			i = j
+		case unicode.IsDigit(rune(c)):
+			j := i
+			isFloat := false
+			for j < len(s) {
+				ch := s[j]
+				if unicode.IsDigit(rune(ch)) {
+					j++
+					continue
+				}
+				if ch == '.' {
+					isFloat = true
+					j++
+					continue
+				}
+				if ch == 'e' || ch == 'E' {
+					isFloat = true
+					j++
+					if j < len(s) && (s[j] == '+' || s[j] == '-') {
+						j++
+					}
+					continue
+				}
+				break
+			}
+			k := tInt
+			if isFloat {
+				k = tFloat
+			}
+			l.toks = append(l.toks, token{k, s[i:j], l.line})
+			i = j
+		default:
+			for _, op := range []string{"++", "+=", "<=", "==", "!="} {
+				if strings.HasPrefix(s[i:], op) {
+					l.toks = append(l.toks, token{tPunct, op, l.line})
+					i += len(op)
+					goto next
+				}
+			}
+			l.toks = append(l.toks, token{tPunct, string(c), l.line})
+			i++
+		next:
+		}
+	}
+	l.toks = append(l.toks, token{tEOF, "", l.line})
+}
+
+// ----- parser -----
+
+type parser struct {
+	lex    *lexer
+	pos    int
+	arrays map[string]*Array
+	kinds  map[string]Kind // inferred scalar kinds
+	known  map[string]bool // scalar kind actually established
+}
+
+func (p *parser) peek() token { return p.lex.toks[p.pos] }
+func (p *parser) next() token { t := p.lex.toks[p.pos]; p.pos++; return t }
+func (p *parser) at(s string) bool {
+	t := p.peek()
+	return (t.kind == tPunct || t.kind == tIdent) && t.text == s
+}
+
+func (p *parser) expect(s string) error {
+	if !p.at(s) {
+		t := p.peek()
+		return fmt.Errorf("line %d: expected %q, found %q", t.line, s, t.text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) program() (*Program, error) {
+	if err := p.expect("program"); err != nil {
+		return nil, err
+	}
+	name := p.next()
+	if name.kind != tIdent {
+		return nil, fmt.Errorf("line %d: program name expected", name.line)
+	}
+	prog := &Program{Name: name.text}
+	p.arrays = map[string]*Array{}
+	p.known = map[string]bool{}
+
+	for p.at("var") || p.at("output") {
+		if p.at("var") {
+			p.next()
+			if err := p.varDecl(prog); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		p.next() // output
+		for {
+			n := p.next()
+			a, ok := p.arrays[n.text]
+			if !ok {
+				return nil, fmt.Errorf("line %d: output of undeclared array %q", n.line, n.text)
+			}
+			prog.Outputs = append(prog.Outputs, a)
+			if !p.at(",") {
+				break
+			}
+			p.next()
+		}
+	}
+
+	body, err := p.stmts(func() bool { return p.peek().kind == tEOF })
+	if err != nil {
+		return nil, err
+	}
+	prog.Body = body
+	return prog, nil
+}
+
+func (p *parser) varDecl(prog *Program) error {
+	name := p.next()
+	if name.kind != tIdent {
+		return fmt.Errorf("line %d: array name expected", name.line)
+	}
+	kindTok := p.next()
+	var elem Kind
+	switch kindTok.text {
+	case "float":
+		elem = KFloat
+	case "int":
+		elem = KInt
+	default:
+		return fmt.Errorf("line %d: element kind must be float or int, found %q", kindTok.line, kindTok.text)
+	}
+	var dims []int
+	for p.at("[") {
+		p.next()
+		d := p.next()
+		if d.kind != tInt {
+			return fmt.Errorf("line %d: array dimension must be an integer literal", d.line)
+		}
+		n, err := strconv.Atoi(d.text)
+		if err != nil || n <= 0 {
+			return fmt.Errorf("line %d: bad dimension %q", d.line, d.text)
+		}
+		dims = append(dims, n)
+		if err := p.expect("]"); err != nil {
+			return err
+		}
+	}
+	if len(dims) == 0 {
+		return fmt.Errorf("line %d: array %s needs at least one dimension", name.line, name.text)
+	}
+	if _, dup := p.arrays[name.text]; dup {
+		return fmt.Errorf("line %d: array %s redeclared", name.line, name.text)
+	}
+	a := prog.NewArray(name.text, elem, dims...)
+	p.arrays[name.text] = a
+	return nil
+}
+
+func (p *parser) stmts(done func() bool) ([]Stmt, error) {
+	var out []Stmt
+	for !done() {
+		st, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	body, err := p.stmts(func() bool { return p.at("}") || p.peek().kind == tEOF })
+	if err != nil {
+		return nil, err
+	}
+	return body, p.expect("}")
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	switch {
+	case p.at("for"):
+		return p.forStmt()
+	case p.at("if"):
+		return p.ifStmt()
+	case p.at("prefetch"):
+		p.next()
+		name := p.next()
+		a, ok := p.arrays[name.text]
+		if !ok {
+			return nil, fmt.Errorf("line %d: prefetch of undeclared array %q", name.line, name.text)
+		}
+		ref, err := p.refIndices(a)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &Prefetch{Ref: ref}, nil
+	default:
+		return p.assign()
+	}
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	p.next()
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	v := p.next()
+	if v.kind != tIdent {
+		return nil, fmt.Errorf("line %d: loop variable expected", v.line)
+	}
+	p.kinds[v.text] = KInt
+	p.known[v.text] = true
+	if err := p.expect("="); err != nil {
+		return nil, err
+	}
+	lo, err := p.expr(KInt)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(v.text); err != nil {
+		return nil, err
+	}
+	if err := p.expect("<"); err != nil {
+		return nil, err
+	}
+	hi, err := p.expr(KInt)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(v.text); err != nil {
+		return nil, err
+	}
+	step := 1
+	switch {
+	case p.at("++"):
+		p.next()
+	case p.at("+="):
+		p.next()
+		st := p.next()
+		if st.kind != tInt {
+			return nil, fmt.Errorf("line %d: loop step must be an integer literal", st.line)
+		}
+		step, _ = strconv.Atoi(st.text)
+	default:
+		return nil, fmt.Errorf("line %d: expected ++ or +=", p.peek().line)
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &Loop{Var: v.text, Lo: lo, Hi: hi, Step: step, Body: body}, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	p.next()
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr(KInt)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	var els []Stmt
+	if p.at("else") {
+		p.next()
+		els, err = p.block()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &If{Cond: cond, Then: then, Else: els}, nil
+}
+
+func (p *parser) assign() (Stmt, error) {
+	name := p.next()
+	if name.kind != tIdent {
+		return nil, fmt.Errorf("line %d: statement expected, found %q", name.line, name.text)
+	}
+	var lhs Expr
+	if a, isArr := p.arrays[name.text]; isArr {
+		ref, err := p.refIndices(a)
+		if err != nil {
+			return nil, err
+		}
+		lhs = ref
+	} else {
+		lhs = &Var{Name: name.text} // kind resolved from RHS below
+	}
+	if err := p.expect("="); err != nil {
+		return nil, err
+	}
+	want := KFloat
+	switch l := lhs.(type) {
+	case *Ref:
+		want = l.A.Elem
+	case *Var:
+		if p.known[l.Name] {
+			want = p.kinds[l.Name]
+		} else {
+			want = kindUnknown
+		}
+	}
+	rhs, err := p.expr(want)
+	if err != nil {
+		return nil, err
+	}
+	if v, ok := lhs.(*Var); ok {
+		if !p.known[v.Name] {
+			p.kinds[v.Name] = rhs.Kind()
+			p.known[v.Name] = true
+		}
+		v.K = p.kinds[v.Name]
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return &Assign{LHS: lhs, RHS: rhs}, nil
+}
+
+// kindUnknown asks expr to infer the kind from the leaves.
+const kindUnknown = Kind(255)
+
+// expr parses one expression with an expected kind (kindUnknown to infer).
+func (p *parser) expr(want Kind) (Expr, error) {
+	t := p.peek()
+	switch {
+	case p.at("("):
+		p.next()
+		x, err := p.expr(kindUnknown)
+		if err != nil {
+			return nil, err
+		}
+		opTok := p.next()
+		var op BinOp
+		switch opTok.text {
+		case "+":
+			op = OpAdd
+		case "-":
+			op = OpSub
+		case "*":
+			op = OpMul
+		case "/":
+			op = OpDiv
+		case "%":
+			op = OpMod
+		case "==":
+			op = OpEq
+		case "!=":
+			op = OpNe
+		case "<":
+			op = OpLt
+		case "<=":
+			op = OpLe
+		default:
+			return nil, fmt.Errorf("line %d: unknown operator %q", opTok.line, opTok.text)
+		}
+		operand := kindUnknown
+		if xk, ok := exprKind(x); ok {
+			operand = xk
+		}
+		y, err := p.expr(operand)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		// Reconcile provisional integer literals against the sibling's
+		// kind (e.g. "(x * 2)" with float x) or the context's wanted
+		// kind.
+		if xk, ok := exprKind(x); ok {
+			y = coerce(y, xk)
+		} else if yk, ok := exprKind(y); ok {
+			x = coerce(x, yk)
+		} else if want == KFloat && !op.IsCmp() {
+			x = coerce(x, KFloat)
+			y = coerce(y, KFloat)
+		}
+		return &Bin{Op: op, X: x, Y: y}, nil
+	case p.at("-"):
+		p.next()
+		x, err := p.expr(want)
+		if err != nil {
+			return nil, err
+		}
+		// Fold negation into numeric literals so printing round-trips.
+		switch c := x.(type) {
+		case *ConstI:
+			return &ConstI{V: -c.V}, nil
+		case *ConstF:
+			return &ConstF{V: -c.V}, nil
+		}
+		return &Un{Op: OpNeg, X: x}, nil
+	case t.kind == tInt:
+		p.next()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad integer %q", t.line, t.text)
+		}
+		if want == KFloat {
+			return &ConstF{V: float64(v)}, nil
+		}
+		return &ConstI{V: v}, nil
+	case t.kind == tFloat:
+		p.next()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad float %q", t.line, t.text)
+		}
+		return &ConstF{V: v}, nil
+	case t.kind == tIdent:
+		switch t.text {
+		case "sqrt", "abs", "float", "int":
+			return p.call(t.text)
+		}
+		p.next()
+		if a, isArr := p.arrays[t.text]; isArr {
+			return p.refIndices(a)
+		}
+		k, known := p.kinds[t.text]
+		if !known {
+			if want == kindUnknown {
+				return nil, fmt.Errorf("line %d: cannot infer kind of scalar %q", t.line, t.text)
+			}
+			k = want
+			p.kinds[t.text] = k
+			p.known[t.text] = true
+		}
+		return &Var{Name: t.text, K: k}, nil
+	default:
+		return nil, fmt.Errorf("line %d: expression expected, found %q", t.line, t.text)
+	}
+}
+
+// exprKind returns an expression's kind unless it is an as-yet-untyped
+// integer literal that coercion may still flip to float.
+func exprKind(e Expr) (Kind, bool) {
+	if _, isI := e.(*ConstI); isI {
+		return KInt, false // provisional
+	}
+	return e.Kind(), true
+}
+
+// coerce converts a provisional integer literal to a float literal when
+// the context demands it; other expressions pass through unchanged.
+func coerce(e Expr, k Kind) Expr {
+	if ci, isI := e.(*ConstI); isI && k == KFloat {
+		return &ConstF{V: float64(ci.V)}
+	}
+	return e
+}
+
+func (p *parser) call(fn string) (Expr, error) {
+	p.next()
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	argKind := KFloat
+	if fn == "float" {
+		argKind = KInt
+	}
+	x, err := p.expr(argKind)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	switch fn {
+	case "sqrt":
+		return &Un{Op: OpSqrt, X: x}, nil
+	case "abs":
+		return &Un{Op: OpAbs, X: x}, nil
+	case "float":
+		return &Un{Op: OpCvtIF, X: x}, nil
+	default:
+		return &Un{Op: OpCvtFI, X: x}, nil
+	}
+}
+
+func (p *parser) refIndices(a *Array) (*Ref, error) {
+	ref := &Ref{A: a, Group: -1}
+	for p.at("[") {
+		p.next()
+		ix, err := p.expr(KInt)
+		if err != nil {
+			return nil, err
+		}
+		ref.Idx = append(ref.Idx, ix)
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+	}
+	if len(ref.Idx) != len(a.Dims) {
+		return nil, fmt.Errorf("array %s referenced with %d indices, has %d dims", a.Name, len(ref.Idx), len(a.Dims))
+	}
+	if t := p.peek(); t.kind == tHint {
+		p.next()
+		if t.text == "/*miss*/" {
+			ref.Hint = ir.HintMiss
+		} else {
+			ref.Hint = ir.HintHit
+		}
+	}
+	return ref, nil
+}

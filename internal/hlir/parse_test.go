@@ -1,0 +1,273 @@
+package hlir
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestParseSimpleProgram(t *testing.T) {
+	src := `
+program demo
+  var A float[8][8]
+  var idx int[8]
+  output A
+for (i = 0; i < 8; i++) {
+    s = 0.0;
+    for (j = 1; j < 7; j += 2) {
+        s = (s + A[i][(j + 1)]);
+        if ((s < 0.0)) {
+            s = -s;
+        } else {
+            A[i][j] = (s * 0.5);
+        }
+    }
+    A[i][0] = s;
+    idx[i] = (i % 4);
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "demo" || len(p.Arrays) != 2 || len(p.Outputs) != 1 {
+		t.Fatalf("structure wrong: %s", p)
+	}
+	if p.Arrays[0].Elem != KFloat || p.Arrays[1].Elem != KInt {
+		t.Error("element kinds wrong")
+	}
+	outer, ok := p.Body[0].(*Loop)
+	if !ok || outer.Var != "i" || outer.Step != 1 {
+		t.Fatalf("outer loop wrong: %#v", p.Body[0])
+	}
+	inner := outer.Body[1].(*Loop)
+	if inner.Step != 2 {
+		t.Errorf("inner step = %d, want 2", inner.Step)
+	}
+	// Kind inference: s must be float everywhere.
+	WalkExprs(p.Body, func(e Expr) {
+		if v, ok := e.(*Var); ok && v.Name == "s" && v.K != KFloat {
+			t.Errorf("scalar s inferred as %v", v.K)
+		}
+	})
+	// Executing it must work (bounds, kinds all consistent).
+	it := NewInterp(p)
+	if err := it.Run(p); err != nil {
+		t.Fatalf("parsed program does not run: %v", err)
+	}
+}
+
+func TestParseHints(t *testing.T) {
+	src := `
+program hints
+  var A float[16]
+  output A
+for (j = 0; j < 12; j++) {
+    A[j] = (A[j]/*miss*/ + A[(j + 1)]/*hit*/);
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hints []ir.CacheHint
+	WalkExprs(p.Body, func(e Expr) {
+		if r, ok := e.(*Ref); ok && r.Hint != ir.HintNone {
+			hints = append(hints, r.Hint)
+		}
+	})
+	if len(hints) != 2 || hints[0] != ir.HintMiss || hints[1] != ir.HintHit {
+		t.Errorf("hints = %v", hints)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"no program", `var A float[4]`},
+		{"bad kind", "program p\n var A double[4]\nA[0] = 1.0;"},
+		{"no dims", "program p\n var A float\nA = 1.0;"},
+		{"redeclared", "program p\n var A float[4]\n var A float[4]\nA[0] = 1.0;"},
+		{"unknown output", "program p\n output B\n"},
+		{"bad operator", "program p\n var A float[4]\nA[0] = (1.0 @ 2.0);"},
+		{"unterminated block", "program p\n var A float[4]\nfor (i = 0; i < 4; i++) {\nA[i] = 1.0;"},
+		{"arity", "program p\n var A float[4][4]\nA[0] = 1.0;"},
+		{"uninferable scalar", "program p\n var A float[4]\nA[0] = (x + y);"},
+		{"missing semicolon", "program p\n var A float[4]\nA[0] = 1.0"},
+		{"loop var mismatch", "program p\nfor (i = 0; j < 4; i++) { }"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+// TestPrintParseRoundTrip is the strong property: printing and re-parsing
+// any program reproduces the exact structure, verified by re-printing.
+func TestPrintParseRoundTrip(t *testing.T) {
+	p := &Program{Name: "round"}
+	a := p.NewArray("A", KFloat, 8, 12)
+	idx := p.NewArray("idx", KInt, 8)
+	p.Outputs = []*Array{a}
+	i, j := IV("i"), IV("j")
+	miss := At(a, i, j)
+	miss.Hint = ir.HintMiss
+	p.Body = []Stmt{
+		For("i", I(0), I(8),
+			Set(FV("s"), F(-2.5)),
+			For("j", I(0), I(12),
+				Set(FV("s"), Add(FV("s"), Mul(miss, F(1e-3)))),
+				When(Lt(FV("s"), F(0)), Set(FV("s"), Neg(FV("s")))),
+			),
+			Set(At(a, i, I(0)), Sqrt(Abs(FV("s")))),
+			Set(At(idx, i), FToI(FV("s"))),
+			Set(At(a, i, I(1)), IToF(At(idx, i))),
+		),
+	}
+	text := p.String()
+	q, err := Parse(text)
+	if err != nil {
+		t.Fatalf("round trip parse failed: %v\n%s", err, text)
+	}
+	if got := q.String(); got != text {
+		t.Errorf("round trip changed the program:\n--- original\n%s\n--- reparsed\n%s", text, got)
+	}
+}
+
+func TestParseRunsEquivalently(t *testing.T) {
+	// A parsed program must compute the same results as the original.
+	p := &Program{Name: "eq"}
+	a := p.NewArray("A", KFloat, 32)
+	b := p.NewArray("B", KFloat, 32)
+	p.Outputs = []*Array{b}
+	i := IV("i")
+	p.Body = []Stmt{
+		For("i", I(1), I(31),
+			Set(At(b, i), Add(Mul(At(a, i), F(2)), At(a, Sub(i, I(1)))))),
+	}
+	q, err := Parse(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	it1, it2 := NewInterp(p), NewInterp(q)
+	for k := 0; k < 32; k++ {
+		it1.F[a][k] = float64(k) * 0.25
+		it2.F[q.Arrays[0]][k] = float64(k) * 0.25
+	}
+	if err := it1.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := it2.Run(q); err != nil {
+		t.Fatal(err)
+	}
+	if it1.Checksum(p) != it2.Checksum(q) {
+		t.Error("parsed program computes different results")
+	}
+}
+
+func TestParseCommentsAndWhitespace(t *testing.T) {
+	src := "program c\n  var A float[4]\n  output A\n// a line comment\nA[0]   =\t1.5;\n"
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Body) != 1 {
+		t.Errorf("body has %d statements", len(p.Body))
+	}
+	if !strings.Contains(p.String(), "A[0] = 1.5;") {
+		t.Errorf("rendered: %s", p.String())
+	}
+}
+
+// TestPrintParseFuzz round-trips randomly generated programs: printing
+// then parsing must reproduce the exact text.
+func TestPrintParseFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	for trial := 0; trial < 60; trial++ {
+		p := randomPrintableProgram(rng)
+		text := p.String()
+		q, err := Parse(text)
+		if err != nil {
+			t.Fatalf("trial %d: parse: %v\n%s", trial, err, text)
+		}
+		if got := q.String(); got != text {
+			t.Fatalf("trial %d: round trip changed text:\n--- want\n%s\n--- got\n%s", trial, text, got)
+		}
+	}
+}
+
+// randomPrintableProgram builds random programs from the constructs the
+// printer emits (loops, conditionals, prefetches, hints, all operators).
+func randomPrintableProgram(rng *rand.Rand) *Program {
+	p := &Program{Name: "fz"}
+	a := p.NewArray("A", KFloat, 8, 8)
+	b := p.NewArray("B", KInt, 16)
+	p.Outputs = []*Array{a, b}
+	i := IV("i")
+
+	var fexpr func(d int) Expr
+	fexpr = func(d int) Expr {
+		if d <= 0 {
+			switch rng.Intn(4) {
+			case 0:
+				return F(float64(rng.Intn(9)) * 0.5)
+			case 1:
+				r := At(a, i, I(int64(rng.Intn(8))))
+				switch rng.Intn(3) {
+				case 0:
+					r.Hint = 1 // hit
+				case 1:
+					r.Hint = 2 // miss
+				}
+				return r
+			case 2:
+				return FV("s")
+			default:
+				return Sqrt(Abs(FV("s")))
+			}
+		}
+		x, y := fexpr(d-1), fexpr(d-1)
+		switch rng.Intn(4) {
+		case 0:
+			return Add(x, y)
+		case 1:
+			return Sub(x, y)
+		case 2:
+			return Mul(x, y)
+		default:
+			return Div(x, y)
+		}
+	}
+	var stmt func(d int) Stmt
+	stmt = func(d int) Stmt {
+		switch rng.Intn(6) {
+		case 0:
+			return Set(FV("s"), fexpr(d))
+		case 1:
+			return Set(At(a, i, I(int64(rng.Intn(8)))), fexpr(d))
+		case 2:
+			return Set(At(b, Mod(i, I(16))), FToI(fexpr(d)))
+		case 3:
+			return &Prefetch{Ref: At(a, Add(i, I(1)), I(0))}
+		case 4:
+			if d <= 0 {
+				return Set(FV("s"), F(1))
+			}
+			return WhenElse(Lt(FV("s"), fexpr(0)),
+				[]Stmt{stmt(d - 1)}, []Stmt{stmt(d - 1)})
+		default:
+			if d <= 0 {
+				return Set(FV("s"), F(2))
+			}
+			l := For("j", I(0), I(int64(1+rng.Intn(8))), stmt(d-1))
+			l.Step = 1 + rng.Intn(3)
+			return l
+		}
+	}
+	p.Body = []Stmt{Set(FV("s"), F(0.25)), For("i", I(0), I(7), stmt(2), stmt(1))}
+	return p
+}

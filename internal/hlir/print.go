@@ -1,0 +1,117 @@
+package hlir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Format renders a statement list as C-like pseudocode, the notation of
+// the paper's Figures 3-5. Locality-analysis cache hints appear as
+// /*miss*/ and /*hit*/ comments on the annotated references.
+func Format(body []Stmt) string {
+	var b strings.Builder
+	formatBody(&b, body, 0)
+	return b.String()
+}
+
+// String renders the whole program.
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", p.Name)
+	for _, a := range p.Arrays {
+		dims := ""
+		for _, d := range a.Dims {
+			dims += fmt.Sprintf("[%d]", d)
+		}
+		fmt.Fprintf(&b, "  var %s %s%s\n", a.Name, a.Elem, dims)
+	}
+	if len(p.Outputs) > 0 {
+		names := make([]string, len(p.Outputs))
+		for i, a := range p.Outputs {
+			names[i] = a.Name
+		}
+		fmt.Fprintf(&b, "  output %s\n", strings.Join(names, ", "))
+	}
+	formatBody(&b, p.Body, 0)
+	return b.String()
+}
+
+func formatBody(b *strings.Builder, body []Stmt, depth int) {
+	ind := strings.Repeat("    ", depth)
+	for _, st := range body {
+		switch st := st.(type) {
+		case *Assign:
+			fmt.Fprintf(b, "%s%s = %s;\n", ind, ExprString(st.LHS), ExprString(st.RHS))
+		case *Loop:
+			step := ""
+			if st.Step != 1 {
+				step = fmt.Sprintf(" += %d", st.Step)
+			} else {
+				step = "++"
+			}
+			fmt.Fprintf(b, "%sfor (%s = %s; %s < %s; %s%s) {\n", ind,
+				st.Var, ExprString(st.Lo), st.Var, ExprString(st.Hi), st.Var, step)
+			formatBody(b, st.Body, depth+1)
+			fmt.Fprintf(b, "%s}\n", ind)
+		case *If:
+			fmt.Fprintf(b, "%sif (%s) {\n", ind, ExprString(st.Cond))
+			formatBody(b, st.Then, depth+1)
+			if len(st.Else) > 0 {
+				fmt.Fprintf(b, "%s} else {\n", ind)
+				formatBody(b, st.Else, depth+1)
+			}
+			fmt.Fprintf(b, "%s}\n", ind)
+		case *Prefetch:
+			fmt.Fprintf(b, "%sprefetch %s;\n", ind, ExprString(st.Ref))
+		}
+	}
+}
+
+// ExprString renders one expression.
+func ExprString(e Expr) string {
+	switch e := e.(type) {
+	case *ConstI:
+		return fmt.Sprint(e.V)
+	case *ConstF:
+		out := strconv.FormatFloat(e.V, 'g', -1, 64)
+		// Guarantee float syntax so the parser can distinguish constant
+		// kinds: integers-looking values get a trailing ".0".
+		if !strings.ContainsAny(out, ".eE") || strings.HasPrefix(out, "-") && !strings.ContainsAny(out[1:], ".eE") {
+			out += ".0"
+		}
+		return out
+	case *Var:
+		return e.Name
+	case *Ref:
+		s := e.A.Name
+		for _, ix := range e.Idx {
+			s += "[" + ExprString(ix) + "]"
+		}
+		switch e.Hint {
+		case ir.HintMiss:
+			s += "/*miss*/"
+		case ir.HintHit:
+			s += "/*hit*/"
+		}
+		return s
+	case *Bin:
+		return "(" + ExprString(e.X) + " " + e.Op.String() + " " + ExprString(e.Y) + ")"
+	case *Un:
+		switch e.Op {
+		case OpNeg:
+			return "-" + ExprString(e.X)
+		case OpSqrt:
+			return "sqrt(" + ExprString(e.X) + ")"
+		case OpAbs:
+			return "abs(" + ExprString(e.X) + ")"
+		case OpCvtIF:
+			return "float(" + ExprString(e.X) + ")"
+		case OpCvtFI:
+			return "int(" + ExprString(e.X) + ")"
+		}
+	}
+	return "?"
+}

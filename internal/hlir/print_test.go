@@ -1,0 +1,77 @@
+package hlir
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestFormatRendersFigureShapes(t *testing.T) {
+	p := &Program{Name: "fmt"}
+	a := p.NewArray("A", KFloat, 8, 8)
+	i, j := IV("i"), IV("j")
+	ref := At(a, i, j)
+	ref.Hint = ir.HintMiss
+	hit := At(a, i, Add(j, I(1)))
+	hit.Hint = ir.HintHit
+	p.Body = []Stmt{
+		For("i", I(0), I(8),
+			&Loop{Var: "j", Lo: I(0), Hi: I(8), Step: 4, Body: []Stmt{
+				Set(FV("s"), Add(ref, hit)),
+				When(Lt(FV("s"), F(0)), Set(FV("s"), F(0))),
+			}},
+		),
+	}
+	out := p.String()
+	for _, want := range []string{
+		"program fmt",
+		"var A float[8][8]",
+		"for (i = 0; i < 8; i++)",
+		"j += 4",
+		"A[i][j]/*miss*/",
+		"A[i][(j + 1)]/*hit*/",
+		"if ((s < 0.0))",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestExprStringOperators(t *testing.T) {
+	tests := []struct {
+		e    Expr
+		want string
+	}{
+		{Neg(FV("x")), "-x"},
+		{Sqrt(F(2)), "sqrt(2.0)"},
+		{Abs(FV("x")), "abs(x)"},
+		{IToF(IV("i")), "float(i)"},
+		{FToI(FV("x")), "int(x)"},
+		{Mod(IV("i"), I(4)), "(i % 4)"},
+		{Ne(IV("i"), I(0)), "(i != 0)"},
+		{Le(IV("i"), I(9)), "(i <= 9)"},
+		{Div(FV("a"), FV("b")), "(a / b)"},
+		{Add(FV("a"), F(0.5)), "(a + 0.5)"},
+		{Mul(FV("a"), F(1e21)), "(a * 1e+21)"},
+		{Sub(FV("a"), F(-3)), "(a - -3.0)"},
+	}
+	for _, tt := range tests {
+		if got := ExprString(tt.e); got != tt.want {
+			t.Errorf("ExprString = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestFormatElse(t *testing.T) {
+	body := []Stmt{
+		WhenElse(Eq(IV("i"), I(0)),
+			[]Stmt{Set(FV("x"), F(1))},
+			[]Stmt{Set(FV("x"), F(2))}),
+	}
+	out := Format(body)
+	if !strings.Contains(out, "} else {") {
+		t.Errorf("else branch not rendered:\n%s", out)
+	}
+}

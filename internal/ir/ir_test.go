@@ -1,0 +1,317 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpPredicates(t *testing.T) {
+	tests := []struct {
+		op                                  Op
+		load, store, branch, cond, dst, cmv bool
+	}{
+		{OpLd, true, false, false, false, true, false},
+		{OpLdF, true, false, false, false, true, false},
+		{OpSt, false, true, false, false, false, false},
+		{OpStF, false, true, false, false, false, false},
+		{OpBr, false, false, true, false, false, false},
+		{OpBeq, false, false, true, true, false, false},
+		{OpBge, false, false, true, true, false, false},
+		{OpRet, false, false, true, false, false, false},
+		{OpAdd, false, false, false, false, true, false},
+		{OpFMul, false, false, false, false, true, false},
+		{OpCmovEq, false, false, false, false, true, true},
+		{OpFCmovNe, false, false, false, false, true, true},
+		{OpLdA, false, false, false, false, true, false},
+	}
+	for _, tt := range tests {
+		if got := tt.op.IsLoad(); got != tt.load {
+			t.Errorf("%v.IsLoad() = %v, want %v", tt.op, got, tt.load)
+		}
+		if got := tt.op.IsStore(); got != tt.store {
+			t.Errorf("%v.IsStore() = %v, want %v", tt.op, got, tt.store)
+		}
+		if got := tt.op.IsBranch(); got != tt.branch {
+			t.Errorf("%v.IsBranch() = %v, want %v", tt.op, got, tt.branch)
+		}
+		if got := tt.op.IsCondBranch(); got != tt.cond {
+			t.Errorf("%v.IsCondBranch() = %v, want %v", tt.op, got, tt.cond)
+		}
+		if got := tt.op.HasDst(); got != tt.dst {
+			t.Errorf("%v.HasDst() = %v, want %v", tt.op, got, tt.dst)
+		}
+		if got := tt.op.IsCmov(); got != tt.cmv {
+			t.Errorf("%v.IsCmov() = %v, want %v", tt.op, got, tt.cmv)
+		}
+	}
+}
+
+func TestOpStringsUnique(t *testing.T) {
+	seen := map[string]Op{}
+	for op := OpMovi; op < numOps; op++ {
+		s := op.String()
+		if s == "" || s == "invalid" {
+			t.Errorf("op %d has no name", op)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("ops %d and %d share name %q", prev, op, s)
+		}
+		seen[s] = op
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	tests := []struct {
+		op Op
+		c  Class
+	}{
+		{OpAdd, ClassIntShort},
+		{OpMul, ClassIntLong},
+		{OpFAdd, ClassFPShort},
+		{OpFDiv, ClassFPLong},
+		{OpFSqrt, ClassFPLong},
+		{OpLd, ClassLoad},
+		{OpLdF, ClassLoad},
+		{OpSt, ClassStore},
+		{OpBne, ClassBranch},
+		{OpRet, ClassBranch},
+		{OpLdA, ClassIntShort},
+		{OpFCmpLt, ClassFPShort},
+		{OpCvtIF, ClassFPShort},
+	}
+	for _, tt := range tests {
+		if got := ClassOf(tt.op); got != tt.c {
+			t.Errorf("ClassOf(%v) = %v, want %v", tt.op, got, tt.c)
+		}
+	}
+}
+
+func TestMemRefConflicts(t *testing.T) {
+	mk := func(arr, base int, disp, w int64) *MemRef {
+		return &MemRef{Array: arr, Base: base, Disp: disp, Width: w}
+	}
+	tests := []struct {
+		name string
+		a, b *MemRef
+		want bool
+	}{
+		{"different arrays", mk(0, 0, 0, 8), mk(1, 0, 0, 8), false},
+		{"same base same disp", mk(0, 1, 0, 8), mk(0, 1, 0, 8), true},
+		{"same base disjoint disp", mk(0, 1, 0, 8), mk(0, 1, 8, 8), false},
+		{"same base overlapping", mk(0, 1, 0, 8), mk(0, 1, 4, 8), true},
+		{"different base same array", mk(0, 1, 0, 8), mk(0, 2, 64, 8), true},
+		{"unknown array", mk(-1, 0, 0, 8), mk(0, 0, 0, 8), true},
+		{"unknown base", mk(0, -1, 0, 8), mk(0, 3, 0, 8), true},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Conflicts(tt.b); got != tt.want {
+			t.Errorf("%s: Conflicts = %v, want %v", tt.name, got, tt.want)
+		}
+		if got := tt.b.Conflicts(tt.a); got != tt.want {
+			t.Errorf("%s (reversed): Conflicts = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+	var nilRef *MemRef
+	if !nilRef.Conflicts(mk(0, 0, 0, 8)) {
+		t.Error("nil MemRef must conflict with everything")
+	}
+}
+
+func TestMemRefConflictsProperties(t *testing.T) {
+	// Conflicts is symmetric, and a reference always conflicts with itself.
+	type ref struct {
+		Arr, Base int8
+		Disp      int16
+	}
+	symmetric := func(a, b ref) bool {
+		ma := &MemRef{Array: int(a.Arr), Base: int(a.Base), Disp: int64(a.Disp), Width: 8}
+		mb := &MemRef{Array: int(b.Arr), Base: int(b.Base), Disp: int64(b.Disp), Width: 8}
+		return ma.Conflicts(mb) == mb.Conflicts(ma)
+	}
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Errorf("Conflicts not symmetric: %v", err)
+	}
+	reflexive := func(a ref) bool {
+		m := &MemRef{Array: int(a.Arr), Base: int(a.Base), Disp: int64(a.Disp), Width: 8}
+		return m.Conflicts(m)
+	}
+	if err := quick.Check(reflexive, nil); err != nil {
+		t.Errorf("Conflicts not reflexive: %v", err)
+	}
+}
+
+func TestFuncBuilders(t *testing.T) {
+	f := &Func{Name: "t"}
+	r1 := f.NewReg(RegInt)
+	r2 := f.NewReg(RegFP)
+	if r1 == NoReg || r2 == NoReg || r1 == r2 {
+		t.Fatalf("NewReg gave %v, %v", r1, r2)
+	}
+	if f.ClassOfReg(r1) != RegInt || f.ClassOfReg(r2) != RegFP {
+		t.Errorf("register classes wrong: %v %v", f.ClassOfReg(r1), f.ClassOfReg(r2))
+	}
+	b := f.NewBlock()
+	if b.ID != 0 || len(f.Blocks) != 1 {
+		t.Errorf("NewBlock: id=%d blocks=%d", b.ID, len(f.Blocks))
+	}
+	id := f.AddArray("a", 64)
+	if id != 0 || f.Arrays[0].Name != "a" || f.Arrays[0].Size != 64 {
+		t.Errorf("AddArray: %d %+v", id, f.Arrays)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	valid := func() *Func {
+		f := &Func{Name: "v"}
+		r := f.NewReg(RegInt)
+		b0 := f.NewBlock()
+		b1 := f.NewBlock()
+		b0.Instrs = []*Instr{
+			{Op: OpMovi, Dst: r, Imm: 1},
+			{Op: OpBne, Src: [2]Reg{r}, Target: 1},
+		}
+		b0.Succs = []int{1, 1}
+		b1.Instrs = []*Instr{{Op: OpRet}}
+		return f
+	}
+	if err := valid().Validate(); err != nil {
+		t.Fatalf("valid function rejected: %v", err)
+	}
+
+	f := valid()
+	f.Blocks[0].Instrs[1].Target = 99
+	if err := f.Validate(); err == nil {
+		t.Error("out-of-range branch target accepted")
+	}
+
+	f = valid()
+	f.Blocks[1].Succs = []int{0}
+	if err := f.Validate(); err == nil {
+		t.Error("ret block with successors accepted")
+	}
+
+	f = valid()
+	f.Blocks[0].Instrs = append([]*Instr{{Op: OpBr, Target: 1}}, f.Blocks[0].Instrs...)
+	if err := f.Validate(); err == nil {
+		t.Error("branch in block middle accepted")
+	}
+
+	f = valid()
+	f.Blocks[0].Instrs[0].Dst = 55 // out of range register
+	if err := f.Validate(); err == nil {
+		t.Error("out-of-range register accepted")
+	}
+
+	f = valid()
+	fr := f.NewReg(RegFP)
+	f.Blocks[0].Instrs[0].Dst = fr // fp register as movi dst
+	if err := f.Validate(); err == nil {
+		t.Error("class-mismatched register accepted")
+	}
+}
+
+func TestInstrUsesAndDef(t *testing.T) {
+	var buf []Reg
+	in := &Instr{Op: OpAdd, Dst: 3, Src: [2]Reg{1, 2}}
+	if got := in.Uses(buf); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("Uses(add) = %v", got)
+	}
+	if in.Def() != 3 {
+		t.Errorf("Def(add) = %v", in.Def())
+	}
+	st := &Instr{Op: OpSt, Src: [2]Reg{4, 5}}
+	if st.Def() != NoReg {
+		t.Errorf("Def(st) = %v", st.Def())
+	}
+	cm := &Instr{Op: OpCmovEq, Dst: 7, Src: [2]Reg{1, 2}}
+	got := cm.Uses(buf)
+	if len(got) != 3 || got[2] != 7 {
+		t.Errorf("Uses(cmov) = %v, want dst included", got)
+	}
+	imm := &Instr{Op: OpAdd, Dst: 3, Src: [2]Reg{1}, UseImm: true, Imm: 4}
+	if got := imm.Uses(buf); len(got) != 1 {
+		t.Errorf("Uses(add imm) = %v", got)
+	}
+}
+
+func TestInstrClone(t *testing.T) {
+	in := &Instr{Op: OpLd, Dst: 2, Src: [2]Reg{1}, Imm: 16,
+		Mem: &MemRef{Array: 3, Base: 1, Disp: 16, Width: 8}}
+	c := in.Clone()
+	if c == in || c.Mem == in.Mem {
+		t.Fatal("Clone did not copy deeply")
+	}
+	c.Mem.Disp = 32
+	if in.Mem.Disp != 16 {
+		t.Error("Clone shares MemRef state")
+	}
+}
+
+func TestBlockTerm(t *testing.T) {
+	b := &Block{}
+	if b.Term() != nil {
+		t.Error("empty block has a terminator")
+	}
+	b.Instrs = []*Instr{{Op: OpMovi, Dst: 1}}
+	if b.Term() != nil {
+		t.Error("fallthrough block reported a terminator")
+	}
+	b.Instrs = append(b.Instrs, &Instr{Op: OpBr, Target: 0})
+	if b.Term() == nil || b.Term().Op != OpBr {
+		t.Error("terminator not found")
+	}
+}
+
+func TestInstrStringSmoke(t *testing.T) {
+	cases := []*Instr{
+		{Op: OpMovi, Dst: 1, Imm: 42},
+		{Op: OpAdd, Dst: 2, Src: [2]Reg{1}, UseImm: true, Imm: 7},
+		{Op: OpLdF, Dst: 3, Src: [2]Reg{1}, Imm: 16, Hint: HintMiss},
+		{Op: OpStF, Src: [2]Reg{3, 1}, Imm: 8},
+		{Op: OpSt, Src: [2]Reg{1}, Spill: SpillStore, Mem: &MemRef{Array: 0, Width: 8}},
+		{Op: OpLd, Dst: 4, Spill: SpillRestore, Mem: &MemRef{Array: 0, Width: 8}},
+		{Op: OpBne, Src: [2]Reg{2}, Target: 5},
+		{Op: OpFMovi, Dst: 6, FImm: 2.5},
+		{Op: OpPrefetch, Src: [2]Reg{1}, Imm: 32},
+		{Op: OpRet},
+	}
+	for _, in := range cases {
+		if s := in.String(); s == "" || s == "invalid" {
+			t.Errorf("bad String for %v: %q", in.Op, s)
+		}
+	}
+	// Spot checks on notation.
+	if s := cases[2].String(); s != "ldf r3 r1 #16 [miss]" {
+		t.Errorf("load string = %q", s)
+	}
+	if s := cases[6].String(); s != "bne r2 ->b5" {
+		t.Errorf("branch string = %q", s)
+	}
+}
+
+func TestValidateAcceptsPrefetch(t *testing.T) {
+	f := &Func{Name: "pf"}
+	r := f.NewReg(RegInt)
+	a := f.AddArray("a", 64)
+	b := f.NewBlock()
+	b.Instrs = []*Instr{
+		{Op: OpLdA, Dst: r, Imm: int64(a)},
+		{Op: OpPrefetch, Src: [2]Reg{r}, Mem: &MemRef{Array: a, Base: 0, Width: 8}},
+		{Op: OpRet},
+	}
+	if err := f.Validate(); err != nil {
+		t.Errorf("prefetch rejected: %v", err)
+	}
+}
+
+func TestFuncStringSmoke(t *testing.T) {
+	f := &Func{Name: "s"}
+	r := f.NewReg(RegInt)
+	b := f.NewBlock()
+	b.Instrs = []*Instr{{Op: OpMovi, Dst: r, Imm: 3}, {Op: OpRet}}
+	out := f.String()
+	if !strings.Contains(out, "func s:") || !strings.Contains(out, "movi r1 #3") {
+		t.Errorf("Func.String output:\n%s", out)
+	}
+}

@@ -1,0 +1,148 @@
+// Package licm implements loop-invariant code motion on the lowered IR:
+// pure computations whose operands do not change inside a loop move to the
+// loop's preheader. The Multiflow compiler performed this (and stronger
+// strength reduction); our lowering recomputes row-base address arithmetic
+// every iteration, so the pass mainly hoists those multiplies and adds.
+//
+// The pass is deliberately conservative and runs before scheduling:
+//
+//   - only self-contained single-block loops (header == latch, the shape
+//     internal/lower emits for innermost loops) are processed;
+//   - only pure register computations hoist — never loads (the paper's
+//     framework keeps loads inside loops so locality analysis and balanced
+//     scheduling can treat them; see DESIGN.md), stores, branches or
+//     conditional moves;
+//   - a candidate's destination must not be live into the loop header, so
+//     hoisting cannot clobber a value the first iteration would have read.
+//
+// It is exposed as an opt-in pipeline stage (core.Config.LICM) with an
+// ablation benchmark, keeping the paper-calibrated default pipeline
+// untouched.
+package licm
+
+import (
+	"repro/internal/ir"
+	"repro/internal/liveness"
+)
+
+// Report counts what the pass did.
+type Report struct {
+	// Loops is the number of loops examined.
+	Loops int
+	// Hoisted is the number of instructions moved to preheaders.
+	Hoisted int
+}
+
+// Apply hoists loop-invariant code in fn, in place.
+func Apply(fn *ir.Func) *Report {
+	rep := &Report{}
+	info := liveness.Compute(fn)
+
+	// Predecessor map, to find each self-loop's unique outside entry.
+	preds := make([][]int, len(fn.Blocks))
+	for bi, b := range fn.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], bi)
+		}
+	}
+
+	for bi, b := range fn.Blocks {
+		if !b.LoopHead {
+			continue
+		}
+		// Self-loop: the block branches back to itself.
+		selfLoop := false
+		for _, s := range b.Succs {
+			if s == bi {
+				selfLoop = true
+			}
+		}
+		if !selfLoop {
+			continue
+		}
+		// Unique outside predecessor (the guard block) to host the code.
+		outside := -1
+		ok := true
+		for _, p := range preds[bi] {
+			if p == bi {
+				continue
+			}
+			if outside >= 0 {
+				ok = false // multiple entries: skip
+			}
+			outside = p
+		}
+		if !ok || outside < 0 {
+			continue
+		}
+		rep.Loops++
+		rep.Hoisted += hoist(fn, fn.Blocks[outside], b, info.LiveIn[bi])
+	}
+	if rep.Hoisted > 0 {
+		// Sequence numbers changed blocks; revalidate defensively.
+		if err := fn.Validate(); err != nil {
+			panic("licm: produced invalid IR: " + err.Error())
+		}
+	}
+	return rep
+}
+
+// hoist moves invariant instructions from loop block b into pre (before
+// its terminator), returning the count. Runs to a fixpoint so hoisted
+// definitions enable their users to hoist too.
+func hoist(fn *ir.Func, pre, b *ir.Block, liveIn liveness.Set) int {
+	moved := 0
+	for changed := true; changed; {
+		changed = false
+		// Registers defined inside the loop this round.
+		definedIn := map[ir.Reg]bool{}
+		defCount := map[ir.Reg]int{}
+		for _, in := range b.Instrs {
+			if d := in.Def(); d != ir.NoReg {
+				definedIn[d] = true
+				defCount[d]++
+			}
+		}
+		var buf [3]ir.Reg
+		for i, in := range b.Instrs {
+			if !hoistable(in) {
+				continue
+			}
+			d := in.Def()
+			if defCount[d] != 1 || liveIn.Has(d) {
+				continue // multiple defs, or first iteration reads the old value
+			}
+			invariant := true
+			for _, r := range in.Uses(buf[:0]) {
+				if definedIn[r] {
+					invariant = false
+					break
+				}
+			}
+			if !invariant {
+				continue
+			}
+			// Move: insert before pre's terminator.
+			b.Instrs = append(b.Instrs[:i], b.Instrs[i+1:]...)
+			in.Home = pre.ID
+			if t := pre.Term(); t != nil {
+				pre.Instrs = append(pre.Instrs[:len(pre.Instrs)-1], in, t)
+			} else {
+				pre.Instrs = append(pre.Instrs, in)
+			}
+			moved++
+			changed = true
+			break // indices shifted; rescan
+		}
+	}
+	return moved
+}
+
+// hoistable reports whether the instruction is a pure register computation
+// that cannot fault and has no loop-carried subtleties.
+func hoistable(in *ir.Instr) bool {
+	if !in.Op.HasDst() || in.Op.IsMem() || in.Op == ir.OpPrefetch || in.Op.IsCmov() {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,452 @@
+package lower
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hlir"
+	"repro/internal/ir"
+	"repro/internal/sim"
+)
+
+// runBoth lowers p, executes it on the simulator, executes the reference
+// interpreter (after copying init values into both), and returns
+// (interp, machine) for further checks. It fails the test if either
+// execution errors.
+func runBoth(t *testing.T, p *hlir.Program, init map[*hlir.Array][]float64) (*hlir.Interp, *sim.Machine) {
+	t.Helper()
+	res, err := Lower(p)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	m, err := sim.New(res.Fn)
+	if err != nil {
+		t.Fatalf("sim.New: %v", err)
+	}
+	it := hlir.NewInterp(p)
+	for a, vals := range init {
+		copy(it.F[a], vals)
+		id := res.ArrayID[a]
+		for i, v := range vals {
+			m.WriteF64(id, int64(i)*8, v)
+		}
+	}
+	if err := it.Run(p); err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	if _, err := m.Run(nil); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	// Compare every output array bitwise.
+	for _, a := range p.Outputs {
+		id := res.ArrayID[a]
+		if a.Elem == hlir.KFloat {
+			for i, want := range it.F[a] {
+				got := m.ReadF64(id, int64(i)*8)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("%s[%d] = %g (sim) vs %g (interp)", a.Name, i, got, want)
+				}
+			}
+		} else {
+			for i, want := range it.I[a] {
+				got := m.ReadI64(id, int64(i)*8)
+				if got != want {
+					t.Fatalf("%s[%d] = %d (sim) vs %d (interp)", a.Name, i, got, want)
+				}
+			}
+		}
+	}
+	return it, m
+}
+
+func TestLowerVectorScale(t *testing.T) {
+	p := &hlir.Program{Name: "scale"}
+	a := p.NewArray("A", hlir.KFloat, 64)
+	b := p.NewArray("B", hlir.KFloat, 64)
+	p.Outputs = []*hlir.Array{b}
+	p.Body = []hlir.Stmt{
+		hlir.For("i", hlir.I(0), hlir.I(64),
+			hlir.Set(hlir.At(b, hlir.IV("i")),
+				hlir.Add(hlir.Mul(hlir.At(a, hlir.IV("i")), hlir.F(3)), hlir.F(1)))),
+	}
+	init := map[*hlir.Array][]float64{a: make([]float64, 64)}
+	for i := range init[a] {
+		init[a][i] = float64(i) * 0.5
+	}
+	runBoth(t, p, init)
+}
+
+func TestLower2DStencil(t *testing.T) {
+	p := &hlir.Program{Name: "stencil"}
+	const n = 16
+	a := p.NewArray("A", hlir.KFloat, n, n)
+	b := p.NewArray("B", hlir.KFloat, n, n)
+	p.Outputs = []*hlir.Array{b}
+	i, j := hlir.IV("i"), hlir.IV("j")
+	p.Body = []hlir.Stmt{
+		hlir.For("i", hlir.I(1), hlir.I(n-1),
+			hlir.For("j", hlir.I(1), hlir.I(n-1),
+				hlir.Set(hlir.At(b, i, j),
+					hlir.Mul(hlir.F(0.25),
+						hlir.Add(
+							hlir.Add(hlir.At(a, hlir.Sub(i, hlir.I(1)), j), hlir.At(a, hlir.Add(i, hlir.I(1)), j)),
+							hlir.Add(hlir.At(a, i, hlir.Sub(j, hlir.I(1))), hlir.At(a, i, hlir.Add(j, hlir.I(1))))))))),
+	}
+	init := map[*hlir.Array][]float64{a: make([]float64, n*n)}
+	for k := range init[a] {
+		init[a][k] = float64(k%7) + 0.25
+	}
+	runBoth(t, p, init)
+}
+
+func TestLowerConditionalBranches(t *testing.T) {
+	p := &hlir.Program{Name: "cond"}
+	a := p.NewArray("A", hlir.KFloat, 32)
+	b := p.NewArray("B", hlir.KFloat, 32)
+	p.Outputs = []*hlir.Array{b}
+	i := hlir.IV("i")
+	// Array store under a condition: not predicable, must lower to
+	// branches.
+	p.Body = []hlir.Stmt{
+		hlir.For("i", hlir.I(0), hlir.I(32),
+			hlir.WhenElse(hlir.Lt(hlir.At(a, i), hlir.F(4)),
+				[]hlir.Stmt{hlir.Set(hlir.At(b, i), hlir.F(-1))},
+				[]hlir.Stmt{hlir.Set(hlir.At(b, i), hlir.At(a, i))})),
+	}
+	init := map[*hlir.Array][]float64{a: make([]float64, 32)}
+	for k := range init[a] {
+		init[a][k] = float64(k % 9)
+	}
+	runBoth(t, p, init)
+}
+
+func TestLowerPredication(t *testing.T) {
+	p := &hlir.Program{Name: "pred"}
+	a := p.NewArray("A", hlir.KFloat, 32)
+	b := p.NewArray("B", hlir.KFloat, 32)
+	p.Outputs = []*hlir.Array{b}
+	i := hlir.IV("i")
+	// Scalar conditional assignment: must predicate to a conditional move
+	// (no extra blocks).
+	p.Body = []hlir.Stmt{
+		hlir.For("i", hlir.I(0), hlir.I(32),
+			hlir.Set(hlir.FV("v"), hlir.At(a, i)),
+			hlir.When(hlir.Lt(hlir.FV("v"), hlir.F(3)), hlir.Set(hlir.FV("v"), hlir.F(3))),
+			hlir.Set(hlir.At(b, i), hlir.FV("v")),
+		),
+	}
+	res, err := Lower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A predicated loop body must produce exactly the loop-structure
+	// blocks: entry, header, exit (+ final ret block shares exit) — no
+	// if/else blocks.
+	if len(res.Fn.Blocks) != 3 {
+		t.Errorf("predicated loop has %d blocks, want 3:\n%v", len(res.Fn.Blocks), res.Fn)
+	}
+	cmovs := 0
+	for _, blk := range res.Fn.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op.IsCmov() {
+				cmovs++
+			}
+		}
+	}
+	if cmovs != 1 {
+		t.Errorf("predicated loop has %d cmovs, want 1", cmovs)
+	}
+	init := map[*hlir.Array][]float64{a: make([]float64, 32)}
+	for k := range init[a] {
+		init[a][k] = float64(k % 6)
+	}
+	runBoth(t, p, init)
+}
+
+func TestLowerSharedBaseAcrossUnrolledRefs(t *testing.T) {
+	// References A[j], A[j+1], A[j+2] within one block must share one base
+	// register and differ only in displacement — the property unrolling
+	// depends on for both code quality and disambiguation.
+	p := &hlir.Program{Name: "base"}
+	a := p.NewArray("A", hlir.KFloat, 64)
+	b := p.NewArray("B", hlir.KFloat, 64)
+	p.Outputs = []*hlir.Array{b}
+	j := hlir.IV("j")
+	p.Body = []hlir.Stmt{
+		hlir.For("j", hlir.I(0), hlir.I(60),
+			hlir.Set(hlir.At(b, j),
+				hlir.Add(hlir.At(a, j),
+					hlir.Add(hlir.At(a, hlir.Add(j, hlir.I(1))), hlir.At(a, hlir.Add(j, hlir.I(2))))))),
+	}
+	res, err := Lower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loads []*ir.Instr
+	for _, blk := range res.Fn.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == ir.OpLdF {
+				loads = append(loads, in)
+			}
+		}
+	}
+	if len(loads) != 3 {
+		t.Fatalf("found %d loads, want 3", len(loads))
+	}
+	baseReg := loads[0].Src[0]
+	disps := map[int64]bool{}
+	for _, l := range loads {
+		if l.Src[0] != baseReg {
+			t.Errorf("loads do not share a base register: %v vs %v", l.Src[0], baseReg)
+		}
+		if l.Mem.Base != loads[0].Mem.Base {
+			t.Errorf("loads do not share a MemRef base id")
+		}
+		disps[l.Imm] = true
+	}
+	if !disps[0] || !disps[8] || !disps[16] {
+		t.Errorf("displacements = %v, want {0,8,16}", disps)
+	}
+	init := map[*hlir.Array][]float64{a: make([]float64, 64)}
+	for k := range init[a] {
+		init[a][k] = float64(k)
+	}
+	runBoth(t, p, init)
+}
+
+func TestLowerDynamicIndex(t *testing.T) {
+	// A[idx[j]] is non-affine: the reference must carry Base -1 and still
+	// compute correctly.
+	p := &hlir.Program{Name: "gather"}
+	idx := p.NewArray("idx", hlir.KInt, 16)
+	a := p.NewArray("A", hlir.KFloat, 64)
+	b := p.NewArray("B", hlir.KFloat, 16)
+	p.Outputs = []*hlir.Array{b}
+	j := hlir.IV("j")
+	p.Body = []hlir.Stmt{
+		hlir.For("j", hlir.I(0), hlir.I(16),
+			hlir.Set(hlir.At(b, j), hlir.At(a, hlir.At(idx, j)))),
+	}
+	res, err := Lower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundDyn := false
+	for _, blk := range res.Fn.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == ir.OpLdF && in.Mem.Base == -1 {
+				foundDyn = true
+			}
+		}
+	}
+	if !foundDyn {
+		t.Error("dynamic reference not marked Base -1")
+	}
+
+	m, err := sim.New(res.Fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := hlir.NewInterp(p)
+	for k := 0; k < 16; k++ {
+		v := int64((k * 7) % 64)
+		it.I[idx][k] = v
+		m.WriteI64(res.ArrayID[idx], int64(k)*8, v)
+	}
+	for k := 0; k < 64; k++ {
+		it.F[a][k] = float64(k) * 1.25
+		m.WriteF64(res.ArrayID[a], int64(k)*8, float64(k)*1.25)
+	}
+	if err := it.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 16; k++ {
+		want := it.F[b][k]
+		got := m.ReadF64(res.ArrayID[b], int64(k)*8)
+		if got != want {
+			t.Errorf("B[%d] = %g, want %g", k, got, want)
+		}
+	}
+}
+
+func TestLowerSteppedLoopWithMod(t *testing.T) {
+	// The postconditioned shape that unrolling generates: a stepped main
+	// loop with bound n - (n % 4), then remainder iterations.
+	p := &hlir.Program{Name: "stepped"}
+	a := p.NewArray("A", hlir.KFloat, 32)
+	b := p.NewArray("B", hlir.KFloat, 32)
+	p.Outputs = []*hlir.Array{b}
+	j := hlir.IV("j")
+	n := hlir.I(30)
+	main := &hlir.Loop{
+		Var: "j", Lo: hlir.I(0),
+		Hi:   hlir.Sub(n, hlir.Mod(n, hlir.I(4))),
+		Step: 4,
+		Body: []hlir.Stmt{
+			hlir.Set(hlir.At(b, j), hlir.At(a, j)),
+			hlir.Set(hlir.At(b, hlir.Add(j, hlir.I(1))), hlir.At(a, hlir.Add(j, hlir.I(1)))),
+			hlir.Set(hlir.At(b, hlir.Add(j, hlir.I(2))), hlir.At(a, hlir.Add(j, hlir.I(2)))),
+			hlir.Set(hlir.At(b, hlir.Add(j, hlir.I(3))), hlir.At(a, hlir.Add(j, hlir.I(3)))),
+		},
+	}
+	rem := hlir.When(hlir.Lt(j, n),
+		hlir.Set(hlir.At(b, j), hlir.At(a, j)),
+		hlir.Set(hlir.IV("j"), hlir.Add(j, hlir.I(1))),
+		hlir.When(hlir.Lt(j, n),
+			hlir.Set(hlir.At(b, j), hlir.At(a, j)),
+			hlir.Set(hlir.IV("j"), hlir.Add(j, hlir.I(1))),
+			hlir.When(hlir.Lt(j, n),
+				hlir.Set(hlir.At(b, j), hlir.At(a, j)))))
+	p.Body = []hlir.Stmt{main, rem}
+	init := map[*hlir.Array][]float64{a: make([]float64, 32)}
+	for k := range init[a] {
+		init[a][k] = float64(k) + 0.5
+	}
+	it, _ := runBoth(t, p, init)
+	for k := 0; k < 30; k++ {
+		if it.F[b][k] != float64(k)+0.5 {
+			t.Errorf("interp B[%d] = %g", k, it.F[b][k])
+		}
+	}
+	if it.F[b][30] != 0 || it.F[b][31] != 0 {
+		t.Error("remainder wrote past n")
+	}
+}
+
+func TestLowerErrors(t *testing.T) {
+	mk := func(body ...hlir.Stmt) *hlir.Program {
+		p := &hlir.Program{Name: "e"}
+		p.Body = body
+		return p
+	}
+	pArr := &hlir.Program{Name: "e2"}
+	undeclared := &hlir.Array{Name: "ghost", Elem: hlir.KFloat, Dims: []int{4}}
+
+	cases := []*hlir.Program{
+		mk(hlir.Set(hlir.FV("x"), hlir.I(1))),                                              // kind mismatch
+		mk(hlir.Set(hlir.IV("x"), hlir.Mod(hlir.IV("y"), hlir.I(3)))),                      // non-power-of-two mod
+		mk(hlir.Set(hlir.IV("x"), hlir.Add(hlir.IV("y"), hlir.F(1)))),                      // mixed operands
+		mk(hlir.Set(hlir.At(undeclared, hlir.I(0)), hlir.F(1))),                            // undeclared array
+		mk(&hlir.Loop{Var: "i", Lo: hlir.I(0), Hi: hlir.I(4), Step: 0}),                    // zero step
+		mk(hlir.Set(hlir.At(pArr.NewArray("A", hlir.KFloat, 2, 2), hlir.I(0)), hlir.F(1))), // arity
+	}
+	for i, p := range cases {
+		if _, err := Lower(p); err == nil {
+			t.Errorf("case %d: malformed program lowered without error", i)
+		}
+	}
+}
+
+func TestLowerValidates(t *testing.T) {
+	p := &hlir.Program{Name: "v"}
+	a := p.NewArray("A", hlir.KFloat, 8)
+	p.Outputs = []*hlir.Array{a}
+	p.Body = []hlir.Stmt{
+		hlir.For("i", hlir.I(0), hlir.I(8),
+			hlir.Set(hlir.At(a, hlir.IV("i")), hlir.IToF(hlir.IV("i")))),
+	}
+	res, err := Lower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Fn.Validate(); err != nil {
+		t.Errorf("lowered function invalid: %v", err)
+	}
+	// Home and Seq must be consistent with emission order.
+	seq := -1
+	for _, blk := range res.Fn.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Seq <= seq {
+				t.Fatalf("Seq not strictly increasing: %d after %d", in.Seq, seq)
+			}
+			seq = in.Seq
+			if in.Home != blk.ID {
+				t.Fatalf("instruction home %d in block %d", in.Home, blk.ID)
+			}
+		}
+	}
+}
+
+// TestBaseVersioningAcrossInductionUpdate is the regression test for a
+// soundness bug: vec[i] before an "i = i + 1" and vec[(i - 1)] after it
+// address the same element, so their MemRef bases must differ (same-base
+// references disambiguate by displacement alone). Trace scheduling exposed
+// the original bug by reordering across the update.
+func TestBaseVersioningAcrossInductionUpdate(t *testing.T) {
+	p := &hlir.Program{Name: "vers"}
+	v := p.NewArray("v", hlir.KFloat, 32)
+	p.Outputs = []*hlir.Array{v}
+	j := hlir.IV("j")
+	p.Body = []hlir.Stmt{
+		hlir.Set(hlir.IV("j"), hlir.I(4)),
+		hlir.Set(hlir.At(v, j), hlir.F(1)), // v[4]
+		hlir.Set(hlir.IV("j"), hlir.Add(j, hlir.I(1))),
+		hlir.Set(hlir.FV("x"), hlir.At(v, hlir.Sub(j, hlir.I(1)))), // also v[4]!
+	}
+	res, err := Lower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var store, load *ir.Instr
+	for _, b := range res.Fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpStF {
+				store = in
+			}
+			if in.Op == ir.OpLdF {
+				load = in
+			}
+		}
+	}
+	if store == nil || load == nil {
+		t.Fatal("store/load not found")
+	}
+	if store.Mem.Base == load.Mem.Base {
+		t.Fatalf("store (disp %d) and load (disp %d) share base %d across an induction update — unsound disambiguation",
+			store.Mem.Disp, load.Mem.Disp, store.Mem.Base)
+	}
+	if !store.Mem.Conflicts(load.Mem) {
+		t.Error("references to the same element disambiguated as disjoint")
+	}
+}
+
+// TestPrefetchLowering checks the hint lowers to a no-destination,
+// no-ordering instruction with the load's addressing.
+func TestPrefetchLowering(t *testing.T) {
+	p := &hlir.Program{Name: "pfl"}
+	a := p.NewArray("A", hlir.KFloat, 64)
+	p.Outputs = []*hlir.Array{a}
+	j := hlir.IV("j")
+	p.Body = []hlir.Stmt{
+		hlir.For("j", hlir.I(0), hlir.I(60),
+			&hlir.Prefetch{Ref: hlir.At(a, hlir.Add(j, hlir.I(4)))},
+			hlir.Set(hlir.At(a, j), hlir.F(1))),
+	}
+	res, err := Lower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pf *ir.Instr
+	for _, b := range res.Fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpPrefetch {
+				pf = in
+			}
+		}
+	}
+	if pf == nil {
+		t.Fatal("no prefetch instruction emitted")
+	}
+	if pf.Def() != ir.NoReg {
+		t.Error("prefetch defines a register")
+	}
+	if pf.Imm != 32 {
+		t.Errorf("prefetch displacement = %d, want 32 (4 elements ahead)", pf.Imm)
+	}
+	if pf.Op.IsMem() {
+		t.Error("prefetch participates in memory ordering")
+	}
+}

@@ -1,0 +1,62 @@
+// Package machine describes the modelled processor: a single-issue,
+// in-order, non-blocking-load core closely following the DEC Alpha 21164
+// as used in the paper (Section 4.3). Instruction latencies reproduce the
+// paper's Table 3.
+package machine
+
+import "repro/internal/ir"
+
+// Latencies for fixed-latency instructions (paper Table 3). The load entry
+// is the L1 hit latency; actual load latency is supplied by the memory
+// hierarchy model.
+const (
+	// LatInt is the latency of a short integer operation.
+	LatInt = 1
+	// LatIntMul is the latency of integer multiply.
+	LatIntMul = 8
+	// LatLoadHit is the load-to-use latency on a first-level cache hit.
+	LatLoadHit = 2
+	// LatStore is the store latency.
+	LatStore = 1
+	// LatFP is the latency of a pipelined floating-point operation.
+	LatFP = 4
+	// LatFPDivSingle is FP divide latency for a 23-bit fraction.
+	LatFPDivSingle = 17
+	// LatFPDiv is FP divide latency for a 53-bit fraction. Square root is
+	// modelled at the same latency.
+	LatFPDiv = 30
+	// LatBranch is the branch latency.
+	LatBranch = 2
+	// MaxLoadLatency is the worst-case load latency (a main-memory
+	// access); balanced-scheduling load weights are capped here because
+	// there is never a reason to hide more (paper Section 4.2 footnote).
+	MaxLoadLatency = 50
+	// MispredictPenalty is the pipeline refill cost of a mispredicted
+	// conditional branch (the 21164 pays roughly five cycles).
+	MispredictPenalty = 5
+	// InstrBytes is the encoded size of one instruction, used to lay the
+	// code out for the instruction cache and branch predictor.
+	InstrBytes = 4
+)
+
+// Latency returns the fixed (architectural) latency of op. For loads it
+// returns the optimistic L1-hit latency, which is exactly the traditional
+// scheduler's assumption.
+func Latency(op ir.Op) int {
+	switch {
+	case op.IsLoad():
+		return LatLoadHit
+	case op.IsStore():
+		return LatStore
+	case op.IsBranch():
+		return LatBranch
+	case op == ir.OpMul:
+		return LatIntMul
+	case op == ir.OpFDiv, op == ir.OpFSqrt:
+		return LatFPDiv
+	case ir.ClassOf(op) == ir.ClassFPShort:
+		return LatFP
+	default:
+		return LatInt
+	}
+}

@@ -1,0 +1,57 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestLatencies(t *testing.T) {
+	tests := []struct {
+		op  ir.Op
+		lat int
+	}{
+		{ir.OpAdd, LatInt},
+		{ir.OpMovi, LatInt},
+		{ir.OpLdA, LatInt},
+		{ir.OpMul, LatIntMul},
+		{ir.OpLd, LatLoadHit},
+		{ir.OpLdF, LatLoadHit},
+		{ir.OpSt, LatStore},
+		{ir.OpStF, LatStore},
+		{ir.OpFAdd, LatFP},
+		{ir.OpFMul, LatFP},
+		{ir.OpFCmpLt, LatFP},
+		{ir.OpCvtIF, LatFP},
+		{ir.OpFDiv, LatFPDiv},
+		{ir.OpFSqrt, LatFPDiv},
+		{ir.OpBne, LatBranch},
+		{ir.OpBr, LatBranch},
+		{ir.OpRet, LatBranch},
+		{ir.OpCmovEq, LatInt},
+	}
+	for _, tt := range tests {
+		if got := Latency(tt.op); got != tt.lat {
+			t.Errorf("Latency(%v) = %d, want %d", tt.op, got, tt.lat)
+		}
+	}
+}
+
+func TestTable3Values(t *testing.T) {
+	// Pin the paper's Table 3 numbers so config drift is caught.
+	if LatInt != 1 || LatIntMul != 8 || LatLoadHit != 2 || LatStore != 1 ||
+		LatFP != 4 || LatFPDivSingle != 17 || LatFPDiv != 30 || LatBranch != 2 {
+		t.Error("processor latencies diverge from the paper's Table 3")
+	}
+	if MaxLoadLatency != 50 {
+		t.Error("maximum load latency must be 50 cycles (paper Section 4.2)")
+	}
+}
+
+func TestEveryOpHasPositiveLatency(t *testing.T) {
+	for op := ir.OpMovi; op <= ir.OpRet; op++ {
+		if Latency(op) < 1 {
+			t.Errorf("Latency(%v) = %d", op, Latency(op))
+		}
+	}
+}

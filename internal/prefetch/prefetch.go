@@ -1,0 +1,88 @@
+// Package prefetch implements selective software prefetching in the style
+// of Mowry, Lam and Gupta — the optimization their locality analysis was
+// originally built for, and the natural companion extension to this
+// paper's use of the same analysis. For every load that locality analysis
+// marked a predicted cache miss inside an innermost loop, a non-blocking
+// prefetch hint for the access one iteration ahead is inserted at the top
+// of the loop body, so the line arrives by the time the demand load
+// executes. Predicted hits are never prefetched (that is the "selective"
+// part); the peeled first-iteration misses are one-shot and are skipped
+// too.
+package prefetch
+
+import (
+	"repro/internal/hlir"
+	"repro/internal/ir"
+)
+
+// Apply returns a copy of p with prefetch hints inserted, plus the number
+// of hint statements added. It expects a program already processed by
+// locality analysis (only HintMiss references are prefetched; without
+// marks it is a no-op).
+func Apply(p *hlir.Program) (*hlir.Program, int) {
+	out := p.Clone()
+	n := 0
+	var walk func(body []hlir.Stmt)
+	walk = func(body []hlir.Stmt) {
+		for _, st := range body {
+			switch st := st.(type) {
+			case *hlir.Loop:
+				if isInnermost(st) {
+					n += insert(st)
+				} else {
+					walk(st.Body)
+				}
+			case *hlir.If:
+				walk(st.Then)
+				walk(st.Else)
+			}
+		}
+	}
+	walk(out.Body)
+	return out, n
+}
+
+func isInnermost(l *hlir.Loop) bool {
+	inner := false
+	hlir.Walk(l.Body, func(st hlir.Stmt) {
+		if _, ok := st.(*hlir.Loop); ok {
+			inner = true
+		}
+	})
+	return !inner
+}
+
+// insert prepends one prefetch per distinct predicted-miss stream of the
+// loop, addressing the element the induction variable will reach on the
+// next iteration (Step ahead — one full line for the locality-unrolled
+// main loops). Returns the number of hints added.
+func insert(l *hlir.Loop) int {
+	seen := map[string]bool{}
+	var hints []hlir.Stmt
+	hlir.WalkExprs(l.Body, func(e hlir.Expr) {
+		ref, ok := e.(*hlir.Ref)
+		if !ok || ref.Hint != ir.HintMiss {
+			return
+		}
+		lin := ref.LinearAffine()
+		if !lin.OK || lin.Coeff(l.Var) == 0 {
+			return // not a streaming access of this loop
+		}
+		key := ref.A.Name + "|" + lin.Key()
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		ahead := hlir.CloneExpr(ref, hlir.Subst{
+			l.Var: hlir.Add(hlir.IV(l.Var), hlir.I(int64(l.Step))),
+		}).(*hlir.Ref)
+		ahead.Hint = ir.HintNone // the hint itself needs no marking
+		ahead.Group = -1
+		hints = append(hints, &hlir.Prefetch{Ref: ahead})
+	})
+	if len(hints) == 0 {
+		return 0
+	}
+	l.Body = append(hints, l.Body...)
+	return len(hints)
+}

@@ -1,0 +1,399 @@
+// Package regalloc assigns the Alpha's physical registers (32 integer +
+// 32 floating point) to the virtual registers of scheduled code, spilling
+// to stack slots when pressure exceeds the machine. The paper's results
+// depend on this phase being real: aggressive unrolling raises register
+// pressure until spill loads and restores appear in the dynamic
+// instruction mix (Section 5.1 — TRFD and tomcatv regress at unroll-8
+// because of spill code), so the allocator inserts genuine load/store
+// instructions that travel through the simulated memory hierarchy.
+//
+// The algorithm is linear scan over whole-function live intervals
+// (Poletto–Sarkar): intervals are built from block-level liveness, sorted
+// by start, and allocated greedily; when a class runs out the interval
+// with the furthest end is spilled. Spilled virtuals live in a per-function
+// spill area and are restored into reserved scratch registers around each
+// use — the classic reserved-register spilling scheme. Of each 32-register
+// bank, 25 are allocatable, 3 (integer) / 2 (FP) are spill scratch and the
+// rest model ABI-reserved registers (sp, gp, ra, zero).
+package regalloc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/liveness"
+)
+
+// Physical register numbering after allocation: integer registers occupy
+// 1..32 and floating-point registers 33..64.
+const (
+	intPhysBase = 1
+	fpPhysBase  = 33
+	// AllocatableInt and AllocatableFP are the per-bank allocatable
+	// register counts.
+	AllocatableInt = 25
+	AllocatableFP  = 25
+	// intScratch/fpScratch are reserved for spill restores. A conditional
+	// move can read three registers (two sources plus its destination),
+	// so the integer bank reserves three.
+	intScratch0 = intPhysBase + AllocatableInt // 26, 27, 28
+	fpScratch0  = fpPhysBase + AllocatableFP   // 58, 59
+	// PhysRegs is one past the largest physical register number.
+	PhysRegs = 65
+)
+
+// Report summarises an allocation, for experiments and tests.
+type Report struct {
+	// Spilled counts virtual registers assigned to stack slots.
+	Spilled int
+	// Restores and Spills count inserted instructions.
+	Restores, Spills int
+	// SlotBytes is the spill area size.
+	SlotBytes int64
+}
+
+type interval struct {
+	reg        ir.Reg
+	start, end int
+	uses       int
+	cls        ir.RegClass
+}
+
+// Allocate rewrites fn in place onto physical registers, inserting spill
+// code as needed, and returns a report. The function must not already be
+// allocated.
+func Allocate(fn *ir.Func) (*Report, error) {
+	if fn.Allocated {
+		return nil, fmt.Errorf("regalloc: %s already allocated", fn.Name)
+	}
+	rep := &Report{}
+
+	intervals := buildIntervals(fn)
+	sort.Slice(intervals, func(a, b int) bool {
+		if intervals[a].start != intervals[b].start {
+			return intervals[a].start < intervals[b].start
+		}
+		return intervals[a].reg < intervals[b].reg
+	})
+
+	assign := make([]ir.Reg, fn.NumRegs) // virtual -> physical (0 = spilled/unused)
+	spilled := make([]bool, fn.NumRegs)
+
+	type activeEntry struct {
+		iv   *interval
+		phys ir.Reg
+	}
+	var active []activeEntry
+	freeInt := freeList(intPhysBase, AllocatableInt)
+	freeFP := freeList(fpPhysBase, AllocatableFP)
+
+	expire := func(pos int) {
+		keep := active[:0]
+		for _, ae := range active {
+			if ae.iv.end <= pos {
+				if ae.iv.cls == ir.RegInt {
+					freeInt = append(freeInt, ae.phys)
+				} else {
+					freeFP = append(freeFP, ae.phys)
+				}
+			} else {
+				keep = append(keep, ae)
+			}
+		}
+		active = keep
+	}
+
+	for i := range intervals {
+		iv := &intervals[i]
+		expire(iv.start)
+		free := &freeInt
+		if iv.cls == ir.RegFP {
+			free = &freeFP
+		}
+		if len(*free) > 0 {
+			phys := (*free)[len(*free)-1]
+			*free = (*free)[:len(*free)-1]
+			assign[iv.reg] = phys
+			active = append(active, activeEntry{iv: iv, phys: phys})
+			continue
+		}
+		// Spill the cheapest same-class candidate: fewest static uses
+		// (every use of a spilled register becomes a memory access), with
+		// the furthest end breaking ties. A loop-carried register has
+		// many uses, so it stays in a register while single-use
+		// temporaries go to memory.
+		victim := -1
+		better := func(a, b *interval) bool { // a is the cheaper spill
+			if a.uses != b.uses {
+				return a.uses < b.uses
+			}
+			return a.end > b.end
+		}
+		for ai, ae := range active {
+			if ae.iv.cls != iv.cls {
+				continue
+			}
+			if victim < 0 || better(ae.iv, active[victim].iv) {
+				victim = ai
+			}
+		}
+		if victim >= 0 && better(active[victim].iv, iv) {
+			ae := active[victim]
+			assign[iv.reg] = ae.phys
+			assign[ae.iv.reg] = 0
+			spilled[ae.iv.reg] = true
+			active[victim] = activeEntry{iv: iv, phys: ae.phys}
+		} else {
+			spilled[iv.reg] = true
+		}
+	}
+
+	for r := 1; r < fn.NumRegs; r++ {
+		if spilled[r] {
+			rep.Spilled++
+		}
+	}
+
+	slotArray := fn.AddArray("spill", 0)
+	fn.Arrays[slotArray].Slot = true
+	slotOf := make([]int64, fn.NumRegs)
+	for r := range slotOf {
+		slotOf[r] = -1
+	}
+	nextSlot := int64(0)
+	slot := func(r ir.Reg) int64 {
+		if slotOf[r] < 0 {
+			slotOf[r] = nextSlot
+			nextSlot += 8
+		}
+		return slotOf[r]
+	}
+
+	if err := rewrite(fn, assign, spilled, slotArray, slot, rep); err != nil {
+		return nil, err
+	}
+
+	fn.Arrays[slotArray].Size = nextSlot
+	fn.FrameSize = nextSlot
+	rep.SlotBytes = nextSlot
+
+	// Re-declare the register file as physical.
+	fn.NumRegs = PhysRegs
+	fn.RegClass = make([]ir.RegClass, PhysRegs)
+	for r := fpPhysBase; r < PhysRegs; r++ {
+		fn.RegClass[r] = ir.RegFP
+	}
+	fn.Allocated = true
+	return rep, fn.Validate()
+}
+
+// freeList builds the allocatable register pool for one bank, ordered so
+// that pops hand out the lowest numbers first.
+func freeList(base ir.Reg, n int) []ir.Reg {
+	fl := make([]ir.Reg, n)
+	for i := 0; i < n; i++ {
+		fl[i] = base + ir.Reg(n-1-i)
+	}
+	return fl
+}
+
+// buildIntervals computes one coarse live interval per virtual register
+// over the linearised block order: the interval spans from the earliest
+// definition/live-in point to the latest use/live-out point, so registers
+// live around loop back edges stay allocated across the whole loop.
+//
+// Blocks are linearised in reverse postorder from the entry, not in slice
+// order: phases like trace scheduling append their new blocks at the end
+// of Func.Blocks, and linearising by index would give every value that
+// crosses such a block a near-function-length interval, flooding the
+// allocator with false conflicts.
+func buildIntervals(fn *ir.Func) []interval {
+	info := liveness.Compute(fn)
+	starts := make([]int, fn.NumRegs)
+	ends := make([]int, fn.NumRegs)
+	uses := make([]int, fn.NumRegs)
+	seen := make([]bool, fn.NumRegs)
+	touch := func(r ir.Reg, pos int) {
+		if r == ir.NoReg {
+			return
+		}
+		if !seen[r] {
+			seen[r] = true
+			starts[r], ends[r] = pos, pos+1
+			return
+		}
+		if pos < starts[r] {
+			starts[r] = pos
+		}
+		if pos+1 > ends[r] {
+			ends[r] = pos + 1
+		}
+	}
+	pos := 0
+	var buf [3]ir.Reg
+	for _, bi := range blockOrder(fn) {
+		b := fn.Blocks[bi]
+		blockStart := pos
+		for r := ir.Reg(1); int(r) < fn.NumRegs; r++ {
+			if info.LiveIn[bi].Has(r) {
+				touch(r, blockStart)
+			}
+		}
+		for _, in := range b.Instrs {
+			for _, r := range in.Uses(buf[:0]) {
+				touch(r, pos)
+				uses[r]++
+			}
+			if d := in.Def(); d != ir.NoReg {
+				touch(d, pos)
+				uses[d]++
+			}
+			pos++
+		}
+		for r := ir.Reg(1); int(r) < fn.NumRegs; r++ {
+			if info.LiveOut[bi].Has(r) {
+				touch(r, pos-1)
+			}
+		}
+	}
+	var ivs []interval
+	for r := ir.Reg(1); int(r) < fn.NumRegs; r++ {
+		if seen[r] {
+			ivs = append(ivs, interval{reg: r, start: starts[r], end: ends[r], uses: uses[r], cls: fn.ClassOfReg(r)})
+		}
+	}
+	return ivs
+}
+
+// blockOrder returns block IDs in reverse postorder from the entry,
+// followed by any unreachable blocks in index order.
+func blockOrder(fn *ir.Func) []int {
+	visited := make([]bool, len(fn.Blocks))
+	var post []int
+	var dfs func(int)
+	dfs = func(b int) {
+		visited[b] = true
+		for _, s := range fn.Blocks[b].Succs {
+			if !visited[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(fn.Entry)
+	order := make([]int, 0, len(fn.Blocks))
+	for i := len(post) - 1; i >= 0; i-- {
+		order = append(order, post[i])
+	}
+	for b := range fn.Blocks {
+		if !visited[b] {
+			order = append(order, b)
+		}
+	}
+	return order
+}
+
+// rewrite maps operands to physical registers and inserts restore/spill
+// code around uses and definitions of spilled virtuals.
+func rewrite(fn *ir.Func, assign []ir.Reg, spilled []bool, slotArray int, slot func(ir.Reg) int64, rep *Report) error {
+	for _, b := range fn.Blocks {
+		out := make([]*ir.Instr, 0, len(b.Instrs))
+		for _, in := range b.Instrs {
+			intScr := ir.Reg(intScratch0)
+			fpScr := ir.Reg(fpScratch0)
+			takeScratch := func(cls ir.RegClass) ir.Reg {
+				if cls == ir.RegInt {
+					r := intScr
+					intScr++
+					if r >= intPhysBase+32 {
+						panic("regalloc: out of integer scratch registers")
+					}
+					return r
+				}
+				r := fpScr
+				fpScr++
+				if r >= fpPhysBase+32 {
+					panic("regalloc: out of FP scratch registers")
+				}
+				return r
+			}
+			restore := func(v ir.Reg) ir.Reg {
+				cls := fn.ClassOfReg(v)
+				scr := takeScratch(cls)
+				op := ir.OpLd
+				if cls == ir.RegFP {
+					op = ir.OpLdF
+				}
+				off := slot(v)
+				out = append(out, &ir.Instr{
+					Op: op, Dst: scr, Imm: off, Spill: ir.SpillRestore,
+					Mem:  &ir.MemRef{Array: slotArray, Base: 0, Disp: off, Width: 8},
+					Home: b.ID, Seq: in.Seq,
+				})
+				rep.Restores++
+				return scr
+			}
+
+			ni := *in // shallow copy; Mem shared is fine (never mutated here)
+			dstSpilled := false
+			var dstScratch ir.Reg
+
+			// A conditional move reads its destination: restore it first
+			// so the scratch holds the old value.
+			if in.Op.IsCmov() && in.Dst != ir.NoReg && spilled[in.Dst] {
+				dstScratch = restore(in.Dst)
+				dstSpilled = true
+			}
+			for si, r := range in.Src {
+				switch {
+				case r == ir.NoReg:
+				case spilled[r]:
+					ni.Src[si] = restore(r)
+				default:
+					ni.Src[si] = assign[r]
+				}
+			}
+			if in.Dst != ir.NoReg {
+				switch {
+				case dstSpilled:
+					ni.Dst = dstScratch
+				case spilled[in.Dst]:
+					if in.Op.HasDst() {
+						dstScratch = takeScratch(fn.ClassOfReg(in.Dst))
+						ni.Dst = dstScratch
+						dstSpilled = true
+					}
+				default:
+					ni.Dst = assign[in.Dst]
+				}
+			}
+			out = append(out, &ni)
+			if dstSpilled && in.Op.HasDst() {
+				cls := fn.ClassOfReg(in.Dst)
+				op := ir.OpSt
+				if cls == ir.RegFP {
+					op = ir.OpStF
+				}
+				off := slot(in.Dst)
+				out = append(out, &ir.Instr{
+					Op: op, Src: [2]ir.Reg{ni.Dst, ir.NoReg}, Imm: off, Spill: ir.SpillStore,
+					Mem:  &ir.MemRef{Array: slotArray, Base: 0, Disp: off, Width: 8},
+					Home: b.ID, Seq: in.Seq,
+				})
+				rep.Spills++
+			}
+		}
+		b.Instrs = out
+	}
+	// Branches must remain terminators: a spill store after a branch
+	// would be dead wrong. Verify none was emitted.
+	for _, b := range fn.Blocks {
+		for i, in := range b.Instrs {
+			if in.Op.IsBranch() && i != len(b.Instrs)-1 {
+				return fmt.Errorf("regalloc: spill code landed after terminator in b%d", b.ID)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Metrics collects the measurements the paper reports (Section 4.3):
+// total cycles, interlock cycles split between loads and fixed-latency
+// instructions, and dynamic instruction counts per class including spill
+// and restore instructions.
+type Metrics struct {
+	// Cycles is the total simulated execution time.
+	Cycles int64
+	// Instrs is the dynamic instruction count.
+	Instrs int64
+	// ByClass breaks Instrs down per instruction class.
+	ByClass [ir.NumClasses]int64
+	// SpillStores and SpillRestores count register-allocator-inserted
+	// memory traffic (also included in ByClass load/store counts).
+	SpillStores, SpillRestores int64
+
+	// LoadInterlock counts cycles stalled waiting for a load result
+	// (including stalls for a free outstanding-miss register).
+	LoadInterlock int64
+	// FixedInterlock counts cycles stalled waiting for a fixed-latency
+	// (non-load) result.
+	FixedInterlock int64
+	// MSHRStall is the subset of LoadInterlock spent waiting for a free
+	// miss register in the lockup-free cache.
+	MSHRStall int64
+	// FetchStall counts instruction-fetch cycles (I-cache/ITLB misses).
+	FetchStall int64
+	// BranchStall counts branch misprediction penalty cycles.
+	BranchStall int64
+	// StoreStall counts store-side stalls (DTLB refills).
+	StoreStall int64
+
+	// Branches and Mispredicts count conditional branch outcomes.
+	Branches, Mispredicts int64
+	// Prefetches counts executed software prefetch hints; Prefetches
+	// dropped for want of a free miss register are counted too.
+	Prefetches int64
+	// Loads and L1DHits count data-cache behaviour observed by loads.
+	Loads, L1DHits int64
+}
+
+// Interlock returns total interlock cycles (load + fixed).
+func (m *Metrics) Interlock() int64 { return m.LoadInterlock + m.FixedInterlock }
+
+// LoadInterlockShare returns load interlock cycles as a fraction of total
+// cycles, the paper's headline per-scheduler statistic.
+func (m *Metrics) LoadInterlockShare() float64 {
+	if m.Cycles == 0 {
+		return 0
+	}
+	return float64(m.LoadInterlock) / float64(m.Cycles)
+}
+
+// L1DHitRate returns the fraction of loads that hit in the L1 data cache.
+func (m *Metrics) L1DHitRate() float64 {
+	if m.Loads == 0 {
+		return 0
+	}
+	return float64(m.L1DHits) / float64(m.Loads)
+}
+
+// Add accumulates o into m (used when a program runs several kernels).
+func (m *Metrics) Add(o *Metrics) {
+	m.Cycles += o.Cycles
+	m.Instrs += o.Instrs
+	for i := range m.ByClass {
+		m.ByClass[i] += o.ByClass[i]
+	}
+	m.SpillStores += o.SpillStores
+	m.SpillRestores += o.SpillRestores
+	m.LoadInterlock += o.LoadInterlock
+	m.FixedInterlock += o.FixedInterlock
+	m.MSHRStall += o.MSHRStall
+	m.FetchStall += o.FetchStall
+	m.BranchStall += o.BranchStall
+	m.StoreStall += o.StoreStall
+	m.Branches += o.Branches
+	m.Mispredicts += o.Mispredicts
+	m.Prefetches += o.Prefetches
+	m.Loads += o.Loads
+	m.L1DHits += o.L1DHits
+}
+
+func (m *Metrics) String() string {
+	return fmt.Sprintf(
+		"cycles=%d instrs=%d loadIL=%d fixedIL=%d fetch=%d mispredict=%d spills=%d+%d l1d=%.1f%%",
+		m.Cycles, m.Instrs, m.LoadInterlock, m.FixedInterlock,
+		m.FetchStall, m.BranchStall, m.SpillStores, m.SpillRestores,
+		100*m.L1DHitRate())
+}

@@ -1,0 +1,624 @@
+// Package sim is an execution-driven simulator for the low-level IR,
+// modelling the DEC Alpha 21164 as the paper does (Section 4.3): a
+// single-issue, in-order pipeline with non-blocking loads (a lockup-free
+// first-level data cache with a bounded number of outstanding misses), a
+// three-level cache hierarchy, instruction and data TLBs, and bimodal
+// branch prediction. The simulator both executes the program (registers
+// and memory carry real values) and accounts every stall cycle as either a
+// load interlock or a fixed-latency interlock — the paper's key metric
+// split.
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/cache"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// predictorBits sizes the bimodal branch predictor (2^11 two-bit counters).
+const predictorBits = 11
+
+// Machine is a simulation instance for one ir.Func. Create it with New,
+// initialise array contents through ArrayBase/Memory, then call Run.
+type Machine struct {
+	fn   *ir.Func
+	hier *cache.Hierarchy
+
+	mem       []byte
+	arrayBase []uint64 // base address per fn.Arrays entry
+
+	intRegs []int64
+	fpRegs  []float64
+
+	ready  []int64 // cycle at which each register's value is available
+	isLoad []bool  // producer of the register's pending value was a load
+
+	predictor []uint8
+	codeAddr  map[*ir.Instr]uint64
+
+	// outstanding misses in the lockup-free data cache
+	missLine []uint64
+	missDone []int64
+
+	// MaxInstrs bounds execution as a runaway guard; Run fails when
+	// exceeded. Zero means the default (2^40).
+	MaxInstrs int64
+	// IssueWidth is the number of instructions the core may issue per
+	// cycle (default 1, the paper's model). Widths 2 and 4 model the
+	// superscalar processors the paper names as future work: an issue
+	// group ends at a taken branch, at a data stall, or when per-cycle
+	// functional-unit limits are reached (memory and floating-point
+	// pipes are half the width, as on the 21164).
+	IssueWidth int
+
+	issuedThisCycle int
+	memThisCycle    int
+	fpThisCycle     int
+}
+
+// New prepares a simulation of fn with a fresh memory hierarchy. Array
+// storage is laid out contiguously, each array aligned to a cache line and
+// padded by a guard region so speculative loads cannot escape simulated
+// memory (the paper aligns arrays on cache-line boundaries).
+func New(fn *ir.Func) (*Machine, error) {
+	if err := fn.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		fn:        fn,
+		hier:      cache.NewHierarchy(),
+		predictor: make([]uint8, 1<<predictorBits),
+	}
+	const guard = 4 * cache.LineSize
+	// Leave a null page so address 0 stays out of use, and start data on
+	// a fresh page.
+	addr := uint64(cache.PageSize)
+	m.arrayBase = make([]uint64, len(fn.Arrays))
+	for i, a := range fn.Arrays {
+		m.arrayBase[i] = addr
+		sz := (a.Size + cache.LineSize - 1) / cache.LineSize * cache.LineSize
+		addr += uint64(sz) + guard
+	}
+	m.mem = make([]byte, addr)
+
+	n := fn.NumRegs
+	if n < 65 {
+		n = 65 // physical register space after allocation
+	}
+	m.intRegs = make([]int64, n)
+	m.fpRegs = make([]float64, n)
+	m.ready = make([]int64, n)
+	m.isLoad = make([]bool, n)
+
+	// Lay code out at instruction addresses for the I-side models.
+	m.codeAddr = make(map[*ir.Instr]uint64, fn.NumInstrs())
+	code := uint64(64 * cache.PageSize) // code segment far from data
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			m.codeAddr[in] = code
+			code += machine.InstrBytes
+		}
+	}
+	return m, nil
+}
+
+// ArrayBase returns the simulated base address of array id.
+func (m *Machine) ArrayBase(id int) uint64 { return m.arrayBase[id] }
+
+// WriteF64 stores v at byte offset off within array id, for initialising
+// inputs before Run.
+func (m *Machine) WriteF64(id int, off int64, v float64) {
+	binary.LittleEndian.PutUint64(m.mem[m.arrayBase[id]+uint64(off):], math.Float64bits(v))
+}
+
+// ReadF64 loads the float64 at byte offset off within array id, for
+// checking outputs after Run.
+func (m *Machine) ReadF64(id int, off int64) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(m.mem[m.arrayBase[id]+uint64(off):]))
+}
+
+// WriteI64 stores v at byte offset off within array id.
+func (m *Machine) WriteI64(id int, off int64, v int64) {
+	binary.LittleEndian.PutUint64(m.mem[m.arrayBase[id]+uint64(off):], uint64(v))
+}
+
+// ReadI64 loads the int64 at byte offset off within array id.
+func (m *Machine) ReadI64(id int, off int64) int64 {
+	return int64(binary.LittleEndian.Uint64(m.mem[m.arrayBase[id]+uint64(off):]))
+}
+
+// Hierarchy exposes the memory system for inspecting hit/miss counters.
+func (m *Machine) Hierarchy() *cache.Hierarchy { return m.hier }
+
+// Run executes the function to completion and returns its metrics.
+// EdgeCounts, when non-nil, receives per-(block,successor-index) traversal
+// counts for the profiler.
+func (m *Machine) Run(edges func(block, succIdx int)) (*Metrics, error) {
+	met := &Metrics{}
+	maxInstrs := m.MaxInstrs
+	if maxInstrs == 0 {
+		maxInstrs = 1 << 40
+	}
+	if m.IssueWidth == 0 {
+		m.IssueWidth = 1
+	}
+	m.issuedThisCycle, m.memThisCycle, m.fpThisCycle = 0, 0, 0
+	var cycle int64
+	bid := m.fn.Entry
+	for {
+		blk := m.fn.Blocks[bid]
+		taken := false
+		done := false
+		for _, in := range blk.Instrs {
+			if met.Instrs >= maxInstrs {
+				return met, fmt.Errorf("sim: %s exceeded %d instructions (infinite loop?)", m.fn.Name, maxInstrs)
+			}
+			c, t, d, err := m.step(in, cycle, met)
+			if err != nil {
+				return met, err
+			}
+			cycle = c
+			if t || d {
+				taken, done = t, d
+				break
+			}
+		}
+		met.Cycles = cycle
+		if done {
+			return met, nil
+		}
+		var next int
+		switch {
+		case len(blk.Succs) == 0:
+			return met, fmt.Errorf("sim: %s b%d has no successor and no ret", m.fn.Name, bid)
+		case taken:
+			next = blk.Succs[0]
+			if edges != nil {
+				edges(bid, 0)
+			}
+		case blk.Term() != nil && blk.Term().Op.IsCondBranch():
+			next = blk.Succs[1]
+			if edges != nil {
+				edges(bid, 1)
+			}
+		default:
+			next = blk.Succs[0]
+			if edges != nil {
+				edges(bid, 0)
+			}
+		}
+		bid = next
+	}
+}
+
+// step executes one instruction starting at the given cycle and returns
+// the cycle after issue, whether a branch was taken, and whether the
+// function returned.
+func (m *Machine) step(in *ir.Instr, cycle int64, met *Metrics) (int64, bool, bool, error) {
+	// Instruction fetch: I-TLB and I-cache.
+	if fs := m.hier.FetchLatency(m.codeAddr[in]); fs > 0 {
+		met.FetchStall += int64(fs)
+		cycle += int64(fs)
+		m.newCycle()
+	}
+
+	// Register interlocks: wait for sources (and destination, covering
+	// write-after-write on a pending load and the read of Dst by
+	// conditional moves).
+	stallUntil := cycle
+	stallOnLoad := false
+	consider := func(r ir.Reg) {
+		if r == ir.NoReg {
+			return
+		}
+		if t := m.ready[r]; t > stallUntil {
+			stallUntil = t
+			stallOnLoad = m.isLoad[r]
+		} else if t == stallUntil && t > cycle && m.isLoad[r] {
+			stallOnLoad = true
+		}
+	}
+	consider(in.Src[0])
+	consider(in.Src[1])
+	consider(in.Dst)
+	if stallUntil > cycle {
+		d := stallUntil - cycle
+		if stallOnLoad {
+			met.LoadInterlock += d
+		} else {
+			met.FixedInterlock += d
+		}
+		cycle = stallUntil
+		m.newCycle()
+	}
+
+	issue := cycle
+	cycle = m.advanceIssue(in, cycle)
+
+	met.Instrs++
+	met.ByClass[ir.ClassOf(in.Op)]++
+	switch in.Spill {
+	case ir.SpillStore:
+		met.SpillStores++
+	case ir.SpillRestore:
+		met.SpillRestores++
+	}
+
+	switch {
+	case in.Op == ir.OpPrefetch:
+		met.Prefetches++
+		if addr, err := m.effAddr(in); err == nil {
+			// Non-faulting: a bad address simply drops the hint. A hint
+			// with no free miss register is dropped too, rather than
+			// stalling the pipe.
+			m.prefetch(addr, issue)
+		}
+		return cycle, false, false, nil
+
+	case in.Op.IsLoad():
+		addr, err := m.effAddr(in)
+		if err != nil {
+			return cycle, false, false, err
+		}
+		lat, l1hit, mshr := m.loadAccess(addr, issue)
+		met.Loads++
+		if l1hit {
+			met.L1DHits++
+		}
+		if mshr > 0 {
+			// All miss registers busy: the load stalls at issue until
+			// one frees. This is load-induced, so it counts as load
+			// interlock.
+			met.LoadInterlock += mshr
+			met.MSHRStall += mshr
+			cycle += mshr
+			issue += mshr
+			m.newCycle()
+		}
+		var v int64
+		if addr+8 <= uint64(len(m.mem)) {
+			v = int64(binary.LittleEndian.Uint64(m.mem[addr:]))
+		}
+		if in.Op == ir.OpLdF {
+			m.fpRegs[in.Dst] = math.Float64frombits(uint64(v))
+		} else {
+			m.intRegs[in.Dst] = v
+		}
+		m.ready[in.Dst] = issue + int64(lat)
+		m.isLoad[in.Dst] = true
+		return cycle, false, false, nil
+
+	case in.Op.IsStore():
+		addr, err := m.effAddr(in)
+		if err != nil {
+			return cycle, false, false, err
+		}
+		if st := m.hier.Store(addr); st > 0 {
+			met.StoreStall += int64(st)
+			cycle += int64(st)
+			m.newCycle()
+		}
+		if addr+8 <= uint64(len(m.mem)) {
+			var bits uint64
+			if in.Op == ir.OpStF {
+				bits = math.Float64bits(m.fpRegs[in.Src[0]])
+			} else {
+				bits = uint64(m.intRegs[in.Src[0]])
+			}
+			binary.LittleEndian.PutUint64(m.mem[addr:], bits)
+		}
+		return cycle, false, false, nil
+
+	case in.Op.IsBranch():
+		if in.Op == ir.OpRet {
+			return cycle, false, true, nil
+		}
+		taken := true
+		if in.Op.IsCondBranch() {
+			taken = condTaken(in.Op, m.intRegs[in.Src[0]])
+			met.Branches++
+			if m.predict(in) != taken {
+				met.Mispredicts++
+				met.BranchStall += machine.MispredictPenalty
+				cycle += machine.MispredictPenalty
+				m.newCycle()
+			}
+			m.train(in, taken)
+		}
+		return cycle, taken, false, nil
+
+	default:
+		m.exec(in)
+		if in.Dst != ir.NoReg {
+			m.ready[in.Dst] = issue + int64(machine.Latency(in.Op))
+			m.isLoad[in.Dst] = false
+		}
+		return cycle, false, false, nil
+	}
+}
+
+// advanceIssue accounts one instruction against the current issue group
+// and returns the cycle at which the *next* instruction may issue. At
+// width 1 every instruction starts a new cycle (the paper's model); at
+// wider widths instructions share cycles until the group fills, a
+// functional-unit class saturates, or a branch ends the group.
+func (m *Machine) advanceIssue(in *ir.Instr, cycle int64) int64 {
+	w := m.IssueWidth
+	if w <= 1 {
+		return cycle + 1
+	}
+	half := (w + 1) / 2
+	if in.Op.IsMem() {
+		m.memThisCycle++
+	}
+	if cls := ir.ClassOf(in.Op); cls == ir.ClassFPShort || cls == ir.ClassFPLong {
+		m.fpThisCycle++
+	}
+	m.issuedThisCycle++
+	if m.issuedThisCycle >= w || m.memThisCycle >= half ||
+		m.fpThisCycle >= half || in.Op.IsBranch() {
+		m.issuedThisCycle, m.memThisCycle, m.fpThisCycle = 0, 0, 0
+		return cycle + 1
+	}
+	return cycle
+}
+
+// newCycle resets issue-group state when a stall forces a cycle change.
+func (m *Machine) newCycle() {
+	m.issuedThisCycle, m.memThisCycle, m.fpThisCycle = 0, 0, 0
+}
+
+// loadAccess performs the data-side access, managing the lockup-free
+// cache's outstanding-miss registers. It returns the load-to-use latency,
+// whether the access hit in L1, and any stall waiting for a free miss
+// register.
+func (m *Machine) loadAccess(addr uint64, issue int64) (lat int, l1hit bool, mshrStall int64) {
+	lat, l1hit = m.hier.LoadLatency(addr)
+	line := addr / cache.LineSize
+	if l1hit {
+		// The line may still be in flight from a prefetch or an earlier
+		// miss: the demand load completes when the fill does.
+		for i, done := range m.missDone {
+			if m.missLine[i] == line && done > issue {
+				if d := int(done - issue); d > lat {
+					lat = d
+				}
+			}
+		}
+		return lat, true, 0
+	}
+	// Merge with an outstanding miss to the same line.
+	live := m.missDone[:0]
+	liveLines := m.missLine[:0]
+	var merged int64 = -1
+	for i, done := range m.missDone {
+		if done > issue {
+			live = append(live, done)
+			liveLines = append(liveLines, m.missLine[i])
+			if m.missLine[i] == line {
+				merged = done
+			}
+		}
+	}
+	m.missDone, m.missLine = live, liveLines
+	if merged >= 0 {
+		if d := merged - issue; d < int64(lat) {
+			lat = int(d)
+			if lat < cache.LatL1 {
+				lat = cache.LatL1
+			}
+		}
+		return lat, false, 0
+	}
+	if len(m.missDone) >= cache.MSHRs {
+		// Wait for the earliest outstanding miss to complete.
+		min := m.missDone[0]
+		minI := 0
+		for i, d := range m.missDone {
+			if d < min {
+				min, minI = d, i
+			}
+		}
+		mshrStall = min - issue
+		if mshrStall < 0 {
+			mshrStall = 0
+		}
+		issue = min
+		m.missDone = append(m.missDone[:minI], m.missDone[minI+1:]...)
+		m.missLine = append(m.missLine[:minI], m.missLine[minI+1:]...)
+	}
+	m.missDone = append(m.missDone, issue+int64(lat))
+	m.missLine = append(m.missLine, line)
+	return lat, false, mshrStall
+}
+
+// prefetch starts a cache fill for addr without blocking: on an L1 hit
+// nothing happens; on a miss with a free miss register the fill is
+// registered so later demand loads to the line complete with it; with all
+// miss registers busy the hint is dropped.
+func (m *Machine) prefetch(addr uint64, issue int64) {
+	line := addr / cache.LineSize
+	pending := 0
+	for i, done := range m.missDone {
+		if done > issue {
+			pending++
+			if m.missLine[i] == line {
+				return // already in flight
+			}
+		}
+	}
+	if m.hier.L1D.Probe(addr) {
+		return // already resident
+	}
+	if pending >= cache.MSHRs {
+		return // dropped: no free miss register
+	}
+	lat, l1hit := m.hier.LoadLatency(addr)
+	if l1hit {
+		return
+	}
+	m.missDone = append(m.missDone, issue+int64(lat))
+	m.missLine = append(m.missLine, line)
+}
+
+// effAddr computes the effective address of a memory instruction.
+func (m *Machine) effAddr(in *ir.Instr) (uint64, error) {
+	base := in.Src[0]
+	if in.Op.IsStore() {
+		base = in.Src[1]
+	}
+	var a int64
+	if base == ir.NoReg {
+		if in.Mem == nil || in.Mem.Array < 0 || in.Mem.Array >= len(m.arrayBase) {
+			return 0, fmt.Errorf("sim: %v: absolute memory op without valid array", in)
+		}
+		a = int64(m.arrayBase[in.Mem.Array]) + in.Imm
+	} else {
+		a = m.intRegs[base] + in.Imm
+	}
+	if a < 0 || uint64(a)+8 > uint64(len(m.mem)) {
+		return 0, fmt.Errorf("sim: %s: address %#x out of range for %v", m.fn.Name, a, in)
+	}
+	return uint64(a), nil
+}
+
+// exec evaluates a register-only instruction.
+func (m *Machine) exec(in *ir.Instr) {
+	ints := m.intRegs
+	fps := m.fpRegs
+	src1 := func() int64 {
+		if in.UseImm {
+			return in.Imm
+		}
+		return ints[in.Src[1]]
+	}
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch in.Op {
+	case ir.OpMovi:
+		ints[in.Dst] = in.Imm
+	case ir.OpMov:
+		ints[in.Dst] = ints[in.Src[0]]
+	case ir.OpAdd:
+		ints[in.Dst] = ints[in.Src[0]] + src1()
+	case ir.OpSub:
+		ints[in.Dst] = ints[in.Src[0]] - src1()
+	case ir.OpMul:
+		ints[in.Dst] = ints[in.Src[0]] * src1()
+	case ir.OpAnd:
+		ints[in.Dst] = ints[in.Src[0]] & src1()
+	case ir.OpOr:
+		ints[in.Dst] = ints[in.Src[0]] | src1()
+	case ir.OpXor:
+		ints[in.Dst] = ints[in.Src[0]] ^ src1()
+	case ir.OpSll:
+		ints[in.Dst] = ints[in.Src[0]] << uint(src1()&63)
+	case ir.OpSrl:
+		ints[in.Dst] = int64(uint64(ints[in.Src[0]]) >> uint(src1()&63))
+	case ir.OpSra:
+		ints[in.Dst] = ints[in.Src[0]] >> uint(src1()&63)
+	case ir.OpCmpEq:
+		ints[in.Dst] = b2i(ints[in.Src[0]] == src1())
+	case ir.OpCmpLt:
+		ints[in.Dst] = b2i(ints[in.Src[0]] < src1())
+	case ir.OpCmpLe:
+		ints[in.Dst] = b2i(ints[in.Src[0]] <= src1())
+	case ir.OpS4Add:
+		ints[in.Dst] = ints[in.Src[0]]*4 + ints[in.Src[1]]
+	case ir.OpS8Add:
+		ints[in.Dst] = ints[in.Src[0]]*8 + ints[in.Src[1]]
+	case ir.OpLdA:
+		ints[in.Dst] = int64(m.arrayBase[in.Imm])
+	case ir.OpCmovEq:
+		if ints[in.Src[0]] == 0 {
+			ints[in.Dst] = ints[in.Src[1]]
+		}
+	case ir.OpCmovNe:
+		if ints[in.Src[0]] != 0 {
+			ints[in.Dst] = ints[in.Src[1]]
+		}
+	case ir.OpFMovi:
+		fps[in.Dst] = in.FImm
+	case ir.OpFMov:
+		fps[in.Dst] = fps[in.Src[0]]
+	case ir.OpFAdd:
+		fps[in.Dst] = fps[in.Src[0]] + fps[in.Src[1]]
+	case ir.OpFSub:
+		fps[in.Dst] = fps[in.Src[0]] - fps[in.Src[1]]
+	case ir.OpFMul:
+		fps[in.Dst] = fps[in.Src[0]] * fps[in.Src[1]]
+	case ir.OpFDiv:
+		fps[in.Dst] = fps[in.Src[0]] / fps[in.Src[1]]
+	case ir.OpFSqrt:
+		fps[in.Dst] = math.Sqrt(fps[in.Src[0]])
+	case ir.OpFNeg:
+		fps[in.Dst] = -fps[in.Src[0]]
+	case ir.OpFAbs:
+		fps[in.Dst] = math.Abs(fps[in.Src[0]])
+	case ir.OpFCmpEq:
+		ints[in.Dst] = b2i(fps[in.Src[0]] == fps[in.Src[1]])
+	case ir.OpFCmpLt:
+		ints[in.Dst] = b2i(fps[in.Src[0]] < fps[in.Src[1]])
+	case ir.OpFCmpLe:
+		ints[in.Dst] = b2i(fps[in.Src[0]] <= fps[in.Src[1]])
+	case ir.OpCvtIF:
+		fps[in.Dst] = float64(ints[in.Src[0]])
+	case ir.OpCvtFI:
+		ints[in.Dst] = int64(fps[in.Src[0]])
+	case ir.OpFCmovEq:
+		if ints[in.Src[0]] == 0 {
+			fps[in.Dst] = fps[in.Src[1]]
+		}
+	case ir.OpFCmovNe:
+		if ints[in.Src[0]] != 0 {
+			fps[in.Dst] = fps[in.Src[1]]
+		}
+	}
+}
+
+func condTaken(op ir.Op, v int64) bool {
+	switch op {
+	case ir.OpBeq:
+		return v == 0
+	case ir.OpBne:
+		return v != 0
+	case ir.OpBlt:
+		return v < 0
+	case ir.OpBle:
+		return v <= 0
+	case ir.OpBgt:
+		return v > 0
+	case ir.OpBge:
+		return v >= 0
+	}
+	return true
+}
+
+func (m *Machine) predictorIndex(in *ir.Instr) uint64 {
+	return (m.codeAddr[in] / machine.InstrBytes) & (1<<predictorBits - 1)
+}
+
+func (m *Machine) predict(in *ir.Instr) bool {
+	return m.predictor[m.predictorIndex(in)] >= 2
+}
+
+func (m *Machine) train(in *ir.Instr, taken bool) {
+	i := m.predictorIndex(in)
+	c := m.predictor[i]
+	if taken {
+		if c < 3 {
+			c++
+		}
+	} else if c > 0 {
+		c--
+	}
+	m.predictor[i] = c
+}

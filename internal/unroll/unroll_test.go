@@ -1,0 +1,375 @@
+package unroll
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hlir"
+	"repro/internal/lower"
+	"repro/internal/sim"
+)
+
+// vecAdd builds B[i] = A[i] + 1 over n elements, with a runtime-looking
+// bound (still a constant expression, but the unroller treats any Expr
+// uniformly).
+func vecAdd(n int64) (*hlir.Program, *hlir.Array, *hlir.Array) {
+	p := &hlir.Program{Name: "vecadd"}
+	a := p.NewArray("A", hlir.KFloat, int(n))
+	b := p.NewArray("B", hlir.KFloat, int(n))
+	p.Outputs = []*hlir.Array{b}
+	p.Body = []hlir.Stmt{
+		hlir.For("i", hlir.I(0), hlir.I(n),
+			hlir.Set(hlir.At(b, hlir.IV("i")), hlir.Add(hlir.At(a, hlir.IV("i")), hlir.F(1)))),
+	}
+	return p, a, b
+}
+
+func TestUnrollShape(t *testing.T) {
+	p, _, _ := vecAdd(30)
+	u := Apply(p, 4)
+	if len(u.Body) != 2 {
+		t.Fatalf("unrolled top level has %d stmts, want 2 (main + remainder)", len(u.Body))
+	}
+	main, ok := u.Body[0].(*hlir.Loop)
+	if !ok {
+		t.Fatalf("first stmt is %T, want *Loop", u.Body[0])
+	}
+	if main.Step != 4 {
+		t.Errorf("main loop step = %d, want 4", main.Step)
+	}
+	if !main.NoUnroll {
+		t.Error("main loop not marked NoUnroll")
+	}
+	if len(main.Body) != 4 {
+		t.Errorf("main body has %d statements, want 4 copies", len(main.Body))
+	}
+	if _, ok := u.Body[1].(*hlir.If); !ok {
+		t.Errorf("remainder is %T, want *If", u.Body[1])
+	}
+	// The original program must be untouched.
+	if p.Body[0].(*hlir.Loop).Step != 1 {
+		t.Error("Apply mutated the input program")
+	}
+}
+
+// TestUnrollSemantics checks every remainder count: for n in 24..32 the
+// unrolled program must equal the original, element for element, both in
+// the reference interpreter and through the full lowering + simulation
+// pipeline.
+func TestUnrollSemantics(t *testing.T) {
+	for n := int64(24); n <= 32; n++ {
+		for _, factor := range []int{4, 8} {
+			p, a, b := vecAdd(n)
+			u := Apply(p, factor)
+
+			it := hlir.NewInterp(u)
+			for i := range it.F[a] {
+				it.F[a][i] = float64(i) * 1.5
+			}
+			if err := it.Run(u); err != nil {
+				t.Fatalf("n=%d factor=%d: interp: %v", n, factor, err)
+			}
+			for i := int64(0); i < n; i++ {
+				want := float64(i)*1.5 + 1
+				if it.F[b][i] != want {
+					t.Fatalf("n=%d factor=%d: B[%d] = %g, want %g", n, factor, i, it.F[b][i], want)
+				}
+			}
+
+			res, err := lower.Lower(u)
+			if err != nil {
+				t.Fatalf("n=%d factor=%d: lower: %v", n, factor, err)
+			}
+			m, err := sim.New(res.Fn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := int64(0); i < n; i++ {
+				m.WriteF64(res.ArrayID[a], i*8, float64(i)*1.5)
+			}
+			if _, err := m.Run(nil); err != nil {
+				t.Fatalf("n=%d factor=%d: sim: %v", n, factor, err)
+			}
+			for i := int64(0); i < n; i++ {
+				got := m.ReadF64(res.ArrayID[b], i*8)
+				if math.Float64bits(got) != math.Float64bits(it.F[b][i]) {
+					t.Fatalf("n=%d factor=%d: sim B[%d] = %g, interp %g", n, factor, i, got, it.F[b][i])
+				}
+			}
+		}
+	}
+}
+
+func TestUnrollReducesBranches(t *testing.T) {
+	p, a, _ := vecAdd(4096)
+	u := Apply(p, 4)
+	run := func(prog *hlir.Program) int64 {
+		res, err := lower.Lower(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sim.New(res.Fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4096; i++ {
+			m.WriteF64(res.ArrayID[a], int64(i)*8, 1)
+		}
+		met, err := m.Run(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return met.Branches
+	}
+	before := run(p)
+	after := run(u)
+	if after >= before/3 {
+		t.Errorf("unrolling left %d branches of %d; expected ~1/4", after, before)
+	}
+}
+
+func TestCanUnrollCriteria(t *testing.T) {
+	mkLoop := func(body ...hlir.Stmt) *hlir.Loop {
+		return hlir.For("i", hlir.I(0), hlir.I(64), body...)
+	}
+	p := &hlir.Program{}
+	a := p.NewArray("A", hlir.KFloat, 64)
+	simpleAssign := hlir.Set(hlir.At(a, hlir.IV("i")), hlir.F(1))
+
+	if !CanUnroll(mkLoop(simpleAssign), 4) {
+		t.Error("simple loop rejected")
+	}
+
+	l := mkLoop(simpleAssign)
+	l.NoUnroll = true
+	if CanUnroll(l, 4) {
+		t.Error("NoUnroll loop accepted")
+	}
+
+	l = mkLoop(simpleAssign)
+	l.Step = 2
+	if CanUnroll(l, 4) {
+		t.Error("non-unit-step loop accepted")
+	}
+
+	if CanUnroll(mkLoop(hlir.For("j", hlir.I(0), hlir.I(4), simpleAssign)), 4) {
+		t.Error("non-innermost loop accepted")
+	}
+
+	// One unpredicable branch: allowed. Two: rejected.
+	hard := hlir.When(hlir.Lt(hlir.At(a, hlir.IV("i")), hlir.F(0)),
+		hlir.Set(hlir.At(a, hlir.IV("i")), hlir.F(0)))
+	if !CanUnroll(mkLoop(simpleAssign, hard), 4) {
+		t.Error("single hard branch rejected")
+	}
+	hard2 := hlir.When(hlir.Lt(hlir.At(a, hlir.IV("i")), hlir.F(1)),
+		hlir.Set(hlir.At(a, hlir.IV("i")), hlir.F(1)))
+	if CanUnroll(mkLoop(simpleAssign, hard, hard2), 4) {
+		t.Error("two hard branches accepted")
+	}
+
+	// Predicable branches don't count against the limit.
+	soft := hlir.When(hlir.Lt(hlir.FV("x"), hlir.F(0)), hlir.Set(hlir.FV("x"), hlir.F(0)))
+	soft2 := hlir.When(hlir.Lt(hlir.FV("y"), hlir.F(0)), hlir.Set(hlir.FV("y"), hlir.F(0)))
+	if !CanUnroll(mkLoop(simpleAssign, soft, soft2), 4) {
+		t.Error("predicable branches blocked unrolling")
+	}
+}
+
+func TestInstrLimitBlocksBigBodies(t *testing.T) {
+	// A body over the per-copy budget (16 instructions) must not unroll —
+	// the paper's BDNA/swm256 situation.
+	p := &hlir.Program{}
+	a := p.NewArray("A", hlir.KFloat, 64)
+	var body []hlir.Stmt
+	for k := 0; k < 12; k++ {
+		body = append(body, hlir.Set(hlir.At(a, hlir.Add(hlir.IV("i"), hlir.I(int64(k)))),
+			hlir.Mul(hlir.At(a, hlir.IV("i")), hlir.F(2))))
+	}
+	l := hlir.For("i", hlir.I(0), hlir.I(32), body...)
+	if CanUnroll(l, 4) {
+		t.Errorf("oversized body (est %d instrs) unrolled at factor 4", EstimateInstrs(body))
+	}
+	if EstimateInstrs(body)*4 <= InstrLimit(4) {
+		t.Errorf("test body too small to exercise the limit (est %d)", EstimateInstrs(body))
+	}
+
+	// The paper's swm256 effect: a body too big for the factor-4 limit
+	// can still fit the factor-8 limit (128) if it is between 16 and 16
+	// instructions... construct one between 64/4=16 and 128/8=16 — the
+	// per-copy budgets are equal, so instead verify monotonicity: what
+	// unrolls at 8 also unrolls at 4.
+	small := []hlir.Stmt{hlir.Set(hlir.At(a, hlir.IV("i")), hlir.F(1))}
+	l2 := hlir.For("i", hlir.I(0), hlir.I(32), small...)
+	if CanUnroll(l2, 8) && !CanUnroll(l2, 4) {
+		t.Error("limit not monotone across factors")
+	}
+}
+
+func TestUnrollInsideOuterLoopAndIf(t *testing.T) {
+	// Apply must find innermost loops under outer loops and conditionals.
+	p := &hlir.Program{Name: "nest"}
+	a := p.NewArray("A", hlir.KFloat, 8, 16)
+	p.Outputs = []*hlir.Array{a}
+	i, j := hlir.IV("i"), hlir.IV("j")
+	p.Body = []hlir.Stmt{
+		hlir.For("i", hlir.I(0), hlir.I(8),
+			hlir.For("j", hlir.I(0), hlir.I(16),
+				hlir.Set(hlir.At(a, i, j), hlir.IToF(hlir.Add(hlir.Mul(i, hlir.I(16)), j))))),
+	}
+	u := Apply(p, 4)
+	outer := u.Body[0].(*hlir.Loop)
+	inner, ok := outer.Body[0].(*hlir.Loop)
+	if !ok || inner.Step != 4 {
+		t.Fatalf("inner loop not unrolled: %#v", outer.Body[0])
+	}
+
+	it := hlir.NewInterp(u)
+	if err := it.Run(u); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 128; k++ {
+		if it.F[a][k] != float64(k) {
+			t.Errorf("A[%d] = %g, want %d", k, it.F[a][k], k)
+		}
+	}
+}
+
+func TestConstTrip(t *testing.T) {
+	l := hlir.For("i", hlir.I(2), hlir.I(7))
+	if n, ok := ConstTrip(l); !ok || n != 5 {
+		t.Errorf("ConstTrip = %d,%v, want 5,true", n, ok)
+	}
+	l2 := hlir.For("i", hlir.I(5), hlir.I(2))
+	if n, ok := ConstTrip(l2); !ok || n != 0 {
+		t.Errorf("negative-span ConstTrip = %d,%v, want 0,true", n, ok)
+	}
+	l3 := hlir.For("i", hlir.I(0), hlir.IV("n"))
+	if _, ok := ConstTrip(l3); ok {
+		t.Error("runtime bound reported constant")
+	}
+	l4 := &hlir.Loop{Var: "i", Lo: hlir.I(0), Hi: hlir.I(8), Step: 2}
+	if _, ok := ConstTrip(l4); ok {
+		t.Error("non-unit step reported constant trip")
+	}
+}
+
+func TestFullyUnrollExpandsAndSetsVar(t *testing.T) {
+	p := &hlir.Program{Name: "fu"}
+	a := p.NewArray("A", hlir.KFloat, 8)
+	p.Outputs = []*hlir.Array{a}
+	l := hlir.For("i", hlir.I(1), hlir.I(4),
+		hlir.Set(hlir.At(a, hlir.IV("i")), hlir.IToF(hlir.IV("i"))))
+	out := FullyUnroll(l, 3)
+	// 3 copies + the final induction value.
+	if len(out) != 4 {
+		t.Fatalf("FullyUnroll produced %d statements, want 4", len(out))
+	}
+	p.Body = out
+	p.Body = append(p.Body, hlir.Set(hlir.At(a, hlir.I(0)), hlir.IToF(hlir.IV("i"))))
+	it := hlir.NewInterp(p)
+	if err := it.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 3; k++ {
+		if it.F[a][k] != float64(k) {
+			t.Errorf("A[%d] = %g, want %d", k, it.F[a][k], k)
+		}
+	}
+	// Code after the loop reads i: must see the post-loop value 4.
+	if it.F[a][0] != 4 {
+		t.Errorf("induction variable after full unroll = %g, want 4", it.F[a][0])
+	}
+}
+
+func TestApplyFullyUnrollsConstantTripLoops(t *testing.T) {
+	p := &hlir.Program{Name: "ct"}
+	a := p.NewArray("A", hlir.KFloat, 16)
+	p.Outputs = []*hlir.Array{a}
+	p.Body = []hlir.Stmt{
+		hlir.For("t", hlir.I(0), hlir.I(64),
+			hlir.For("s", hlir.I(0), hlir.I(3), // 3 trips <= factor 4
+				hlir.Set(hlir.At(a, hlir.IV("s")), hlir.Add(hlir.At(a, hlir.IV("s")), hlir.F(1))))),
+	}
+	u := Apply(p, 4)
+	// The inner loop must be gone entirely.
+	inner := 0
+	hlir.Walk(u.Body, func(st hlir.Stmt) {
+		if l, ok := st.(*hlir.Loop); ok && l.Var == "s" {
+			inner++
+		}
+	})
+	if inner != 0 {
+		t.Errorf("constant-trip inner loop survived (%d instances)", inner)
+	}
+	it := hlir.NewInterp(u)
+	if err := it.Run(u); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		if it.F[a][k] != 64 {
+			t.Errorf("A[%d] = %g, want 64", k, it.F[a][k])
+		}
+	}
+}
+
+func TestPrivatizationBreaksFalseDependences(t *testing.T) {
+	// A body with a def-before-use temporary: unrolled copies must use
+	// distinct names except the last, which keeps the original.
+	p := &hlir.Program{}
+	a := p.NewArray("A", hlir.KFloat, 64)
+	b := p.NewArray("B", hlir.KFloat, 64)
+	l := hlir.For("i", hlir.I(0), hlir.I(64),
+		hlir.Set(hlir.FV("t"), hlir.Mul(hlir.At(a, hlir.IV("i")), hlir.F(2))),
+		hlir.Set(hlir.At(b, hlir.IV("i")), hlir.FV("t")))
+	stmts := Unroll(l, 4)
+	main := stmts[0].(*hlir.Loop)
+	names := map[string]bool{}
+	hlir.WalkExprs(main.Body, func(e hlir.Expr) {
+		if v, ok := e.(*hlir.Var); ok && v.Name != "i" {
+			names[v.Name] = true
+		}
+	})
+	for _, want := range []string{"t#0", "t#1", "t#2", "t"} {
+		if !names[want] {
+			t.Errorf("missing privatized name %q in %v", want, names)
+		}
+	}
+	if names["t#3"] {
+		t.Error("last copy was renamed; post-loop reads would break")
+	}
+}
+
+func TestAccumulatorsAreNotPrivatized(t *testing.T) {
+	// A read-before-write scalar (reduction) must keep one name in every
+	// copy.
+	p := &hlir.Program{}
+	a := p.NewArray("A", hlir.KFloat, 64)
+	l := hlir.For("i", hlir.I(0), hlir.I(64),
+		hlir.Set(hlir.FV("acc"), hlir.Add(hlir.FV("acc"), hlir.At(a, hlir.IV("i")))))
+	stmts := Unroll(l, 4)
+	main := stmts[0].(*hlir.Loop)
+	hlir.WalkExprs(main.Body, func(e hlir.Expr) {
+		if v, ok := e.(*hlir.Var); ok && v.Name != "i" && v.Name != "acc" {
+			t.Errorf("accumulator renamed to %q", v.Name)
+		}
+	})
+}
+
+func TestConditionallyAssignedScalarsNotPrivatized(t *testing.T) {
+	// A scalar assigned only under a condition may carry the previous
+	// iteration's value: renaming it would change semantics.
+	p := &hlir.Program{}
+	a := p.NewArray("A", hlir.KFloat, 64)
+	l := hlir.For("i", hlir.I(0), hlir.I(64),
+		hlir.When(hlir.Lt(hlir.At(a, hlir.IV("i")), hlir.F(0)),
+			hlir.Set(hlir.FV("last"), hlir.At(a, hlir.IV("i")))),
+		hlir.Set(hlir.At(a, hlir.IV("i")), hlir.FV("last")))
+	stmts := Unroll(l, 4)
+	main := stmts[0].(*hlir.Loop)
+	hlir.WalkExprs(main.Body, func(e hlir.Expr) {
+		if v, ok := e.(*hlir.Var); ok && v.Name != "i" && v.Name != "last" {
+			t.Errorf("conditionally-assigned scalar renamed to %q", v.Name)
+		}
+	})
+}

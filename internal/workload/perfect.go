@@ -1,0 +1,279 @@
+package workload
+
+import (
+	"repro/internal/core"
+	"repro/internal/hlir"
+)
+
+// arc2d — two-dimensional fluid flow (Euler equations). Regular 5-point
+// stencil sweeps over grids larger than the L1 cache: unit-stride inner
+// loops that unroll fully and expose abundant load-level parallelism, the
+// profile of the paper's best balanced-scheduling performers.
+func arc2d() Benchmark {
+	return Benchmark{
+		Name: "ARC2D", Lang: "Fortran",
+		Description: "Two-dimensional fluid flow problem solver using Euler equations",
+		Traits:      "regular stencils, fully unrollable, large grids (spans L1)",
+		Build: func() (*hlir.Program, *core.Data) {
+			// 63-element rows: not a whole number of cache lines, so
+			// locality analysis cannot prove alignment (the paper's
+			// "array dimensions known at compile time" limitation).
+			const n = 63
+			p := &hlir.Program{Name: "ARC2D"}
+			u := p.NewArray("u", hlir.KFloat, n, n)
+			v := p.NewArray("v", hlir.KFloat, n, n)
+			w := p.NewArray("w", hlir.KFloat, n, n)
+			p.Outputs = []*hlir.Array{w, u}
+			i, j := iv("i"), iv("j")
+			jm1 := sub(j, ii(1))
+			jp1 := add(j, ii(1))
+			stencil := func(dst, src *hlir.Array) hlir.Stmt {
+				return hlir.For("i", ii(1), ii(n-1),
+					hlir.For("j", ii(1), ii(n-1),
+						hlir.Set(at(dst, i, j),
+							add(mul(ff(0.6), at(src, i, j)),
+								mul(ff(0.2), add(at(src, i, jm1), at(src, i, jp1)))))))
+			}
+			couple := hlir.For("i", ii(1), ii(n-1),
+				hlir.For("j", ii(1), ii(n-1),
+					hlir.Set(at(u, i, j),
+						add(at(w, i, j), mul(ff(0.05), sub(at(v, i, j), at(u, i, j)))))))
+			p.Body = []hlir.Stmt{
+				stencil(w, u),
+				couple,
+				stencil(w, v),
+			}
+			d := core.NewData()
+			r := newRNG(0xa2c2d)
+			fillF(d, u, r, -1, 1)
+			fillF(d, v, r, -1, 1)
+			return p, d
+		},
+	}
+}
+
+// bdna — nucleic-acid molecular dynamics. The defining trait is very
+// large basic blocks: a long, hand-expanded force computation per particle
+// whose size disables unrolling (the paper's instruction limit) but which
+// already carries enough load-level parallelism for balanced scheduling to
+// shine without it.
+func bdna() Benchmark {
+	return Benchmark{
+		Name: "BDNA", Lang: "Fortran",
+		Description: "Simulation of hydration structure and dynamics of nucleic acids",
+		Traits:      "huge straight-line loop body; unrolling disabled by the size limit",
+		Build: func() (*hlir.Program, *core.Data) {
+			const n = 1500
+			p := &hlir.Program{Name: "BDNA"}
+			x := p.NewArray("x", hlir.KFloat, n)
+			y := p.NewArray("y", hlir.KFloat, n)
+			z := p.NewArray("z", hlir.KFloat, n)
+			q := p.NewArray("q", hlir.KFloat, n)
+			f := p.NewArray("f", hlir.KFloat, n)
+			p.Outputs = []*hlir.Array{f}
+			i := iv("i")
+			// Interactions against four fixed reference sites, expanded in
+			// line: ~60 lowered instructions per iteration.
+			var body []hlir.Stmt
+			body = append(body, hlir.Set(fv("acc"), ff(0)))
+			for s := 0; s < 4; s++ {
+				cs := float64(s)*0.37 + 0.21
+				dx, dy, dz := fv(site("dx", s)), fv(site("dy", s)), fv(site("dz", s))
+				r2 := fv(site("r2", s))
+				e := fv(site("e", s))
+				body = append(body,
+					hlir.Set(dx, sub(at(x, i), ff(cs))),
+					hlir.Set(dy, sub(at(y, i), ff(cs*1.7))),
+					hlir.Set(dz, sub(at(z, i), ff(cs*0.4))),
+					hlir.Set(r2, add(add(mul(dx, dx), mul(dy, dy)),
+						add(mul(dz, dz), ff(0.08)))),
+					hlir.Set(e, div(mul(at(q, i), ff(1.0+cs)), r2)),
+					hlir.Set(fv("acc"), add(fv("acc"), mul(e, sub(r2, ff(0.5))))),
+				)
+			}
+			body = append(body, hlir.Set(at(f, i), fv("acc")))
+			p.Body = []hlir.Stmt{hlir.For("i", ii(0), ii(n), body...)}
+			d := core.NewData()
+			r := newRNG(0xbd0a)
+			fillF(d, x, r, -2, 2)
+			fillF(d, y, r, -2, 2)
+			fillF(d, z, r, -2, 2)
+			fillF(d, q, r, 0.1, 1)
+			return p, d
+		},
+	}
+}
+
+func site(base string, s int) string { return base + string(rune('0'+s)) }
+
+// dyfesm — structural dynamics with few dominant execution paths: the
+// branch directions are data dependent and near 50/50, so trace selection
+// picks poorly and speculative code motion wastes issue bandwidth —
+// the paper's canonical trace-scheduling loser.
+func dyfesm() Benchmark {
+	return Benchmark{
+		Name: "DYFESM", Lang: "Fortran",
+		Description: "Structural dynamics benchmark to solve displacements and stresses",
+		Traits:      "no dominant paths (≈50/50 branches); trace scheduling degrades it",
+		Build: func() (*hlir.Program, *core.Data) {
+			// The working set is cache resident (the real DYFESM's hot
+			// data is small): load interlocks are rare, so speculative
+			// motion has no misses to hide and only costs issue
+			// bandwidth — the paper's trace-scheduling failure mode.
+			const n = 300
+			const passes = 16
+			p := &hlir.Program{Name: "DYFESM"}
+			load := p.NewArray("load", hlir.KFloat, n)
+			disp := p.NewArray("disp", hlir.KFloat, n)
+			stress := p.NewArray("stress", hlir.KFloat, n)
+			p.Outputs = []*hlir.Array{disp, stress}
+			i := iv("i")
+			p.Body = []hlir.Stmt{
+				hlir.For("t", ii(0), ii(passes),
+					hlir.For("i", ii(1), ii(n-1),
+						hlir.Set(fv("e"), at(load, i)),
+						// Data-dependent split with an array store on each
+						// side: unpredicable, and near 50/50 on this input.
+						hlir.WhenElse(hlir.Lt(fv("e"), ff(0.5)),
+							[]hlir.Stmt{
+								hlir.Set(at(disp, i), fv("e")),
+							},
+							[]hlir.Stmt{
+								hlir.Set(at(stress, i), sub(at(stress, i), fv("e"))),
+							}),
+					)),
+			}
+			d := core.NewData()
+			r := newRNG(0xd1fe)
+			fillF(d, load, r, 0, 1) // threshold 0.5 splits the branch 50/50
+			fillF(d, disp, r, -0.5, 0.5)
+			fillF(d, stress, r, -0.5, 0.5)
+			return p, d
+		},
+	}
+}
+
+// mdg — molecular dynamics of water molecules: pair-interaction loops
+// with a reciprocal per pair and one predicable cutoff conditional, so
+// unrolling stays legal and brings moderate gains.
+func mdg() Benchmark {
+	return Benchmark{
+		Name: "MDG", Lang: "Fortran",
+		Description: "Molecular dynamic simulation of flexible water molecules",
+		Traits:      "pair loops with divides; cutoff predicated to a conditional move",
+		Build: func() (*hlir.Program, *core.Data) {
+			const mols = 96
+			const partners = 48
+			p := &hlir.Program{Name: "MDG"}
+			px := p.NewArray("px", hlir.KFloat, mols)
+			qx := p.NewArray("qx", hlir.KFloat, partners)
+			fx := p.NewArray("fx", hlir.KFloat, mols)
+			p.Outputs = []*hlir.Array{fx}
+			i, j := iv("i"), iv("j")
+			p.Body = []hlir.Stmt{
+				hlir.For("i", ii(0), ii(mols),
+					hlir.Set(fv("acc"), ff(0)),
+					hlir.For("j", ii(0), ii(partners),
+						hlir.Set(fv("dx"), sub(at(px, i), at(qx, j))),
+						hlir.Set(fv("r2"), add(mul(fv("dx"), fv("dx")), ff(0.05))),
+						hlir.Set(fv("inv"), div(ff(1), fv("r2"))),
+						hlir.Set(fv("g"), mul(fv("inv"), sub(mul(ff(2.5), fv("inv")), ff(0.8)))),
+						// Cutoff: beyond r2 > 3 the contribution is zero —
+						// a single scalar assignment, predicable.
+						hlir.When(hlir.Lt(ff(3), fv("r2")), hlir.Set(fv("g"), ff(0))),
+						hlir.Set(fv("acc"), add(fv("acc"), mul(fv("g"), fv("dx")))),
+					),
+					hlir.Set(at(fx, i), fv("acc")),
+				),
+			}
+			d := core.NewData()
+			r := newRNG(0x3d6)
+			fillF(d, px, r, -1.5, 1.5)
+			fillF(d, qx, r, -1.5, 1.5)
+			return p, d
+		},
+	}
+}
+
+// qcd2 — lattice-gauge QCD: complex link updates over a lattice, a
+// medium-size unrollable body of multiply/add pairs.
+func qcd2() Benchmark {
+	return Benchmark{
+		Name: "QCD2", Lang: "Fortran",
+		Description: "Lattice-gauge QCD simulation",
+		Traits:      "complex arithmetic on lattice links; unrollable medium body",
+		Build: func() (*hlir.Program, *core.Data) {
+			const sites = 2048
+			p := &hlir.Program{Name: "QCD2"}
+			ur := p.NewArray("ur", hlir.KFloat, sites)
+			ui := p.NewArray("ui", hlir.KFloat, sites)
+			vr := p.NewArray("vr", hlir.KFloat, sites)
+			vi := p.NewArray("vi", hlir.KFloat, sites)
+			wr := p.NewArray("wr", hlir.KFloat, sites)
+			wi := p.NewArray("wi", hlir.KFloat, sites)
+			p.Outputs = []*hlir.Array{wr, wi, ur, ui}
+			s := iv("s")
+			// Two complex products: w = u·v then u' = w·v. Real and
+			// imaginary parts compute in one body — two independent
+			// expression trees over shared loads, the natural ILP of a
+			// link update.
+			p.Body = []hlir.Stmt{
+				hlir.For("s", ii(0), ii(sites),
+					hlir.Set(at(wr, s), sub(mul(at(ur, s), at(vr, s)), mul(at(ui, s), at(vi, s)))),
+					hlir.Set(at(wi, s), add(mul(at(ur, s), at(vi, s)), mul(at(ui, s), at(vr, s))))),
+				hlir.For("s", ii(0), ii(sites),
+					hlir.Set(at(ur, s), sub(mul(at(wr, s), at(vr, s)), mul(at(wi, s), at(vi, s)))),
+					hlir.Set(at(ui, s), add(mul(at(wr, s), at(vi, s)), mul(at(wi, s), at(vr, s))))),
+			}
+			d := core.NewData()
+			r := newRNG(0x9cd2)
+			fillF(d, ur, r, -1, 1)
+			fillF(d, ui, r, -1, 1)
+			fillF(d, vr, r, -1, 1)
+			fillF(d, vi, r, -1, 1)
+			return p, d
+		},
+	}
+}
+
+// trfd — two-electron integral transformation: matrix-kernel loops whose
+// bodies hold many simultaneously live temporaries, so unrolling by 8
+// overflows the register file and spill code erodes the gain (the paper's
+// Section 5.1 regression case).
+func trfd() Benchmark {
+	return Benchmark{
+		Name: "TRFD", Lang: "Fortran",
+		Description: "Two-electron integral transformation",
+		Traits:      "many live temporaries: unroll-8 raises spill pressure",
+		Build: func() (*hlir.Program, *core.Data) {
+			const n = 40
+			p := &hlir.Program{Name: "TRFD"}
+			xa := p.NewArray("xa", hlir.KFloat, n, n)
+			xb := p.NewArray("xb", hlir.KFloat, n, n)
+			out := p.NewArray("out", hlir.KFloat, n, n)
+			p.Outputs = []*hlir.Array{out}
+			i, j := iv("i"), iv("j")
+			p.Body = []hlir.Stmt{
+				hlir.For("i", ii(0), ii(n),
+					hlir.For("j", ii(0), ii(n),
+						hlir.Set(fv("t0"), mul(at(xa, i, j), ff(0.5))),
+						hlir.Set(fv("t1"), at(xb, i, j)),
+						hlir.Set(fv("t2"), add(fv("t0"), fv("t1"))),
+						hlir.Set(fv("t3"), sub(fv("t0"), fv("t1"))),
+						hlir.Set(at(out, i, j), mul(fv("t2"), fv("t3"))),
+					),
+					hlir.For("j", ii(0), ii(n),
+						hlir.Set(fv("u0"), at(out, i, j)),
+						hlir.Set(fv("u1"), mul(fv("u0"), at(xa, i, j))),
+						hlir.Set(at(out, i, j), add(fv("u1"), mul(ff(0.1), fv("u0")))),
+					),
+				),
+			}
+			d := core.NewData()
+			r := newRNG(0x72fd)
+			fillF(d, xa, r, -1, 1)
+			fillF(d, xb, r, -1, 1)
+			return p, d
+		},
+	}
+}

@@ -1,0 +1,490 @@
+package workload
+
+import (
+	"repro/internal/core"
+	"repro/internal/hlir"
+)
+
+// alvinn — neural-network training (C, row-major): matrix-vector sweeps
+// plus outer-product weight updates. Tiny loop bodies mean branch overhead
+// dominates, so unrolling removes a very large share of the dynamic
+// instruction count (the paper reports a 36.6% drop).
+func alvinn() Benchmark {
+	return Benchmark{
+		Name: "alvinn", Lang: "C",
+		Description: "Trains a neural network using back propagation",
+		Traits:      "tiny loop bodies: unrolling removes most branch overhead",
+		Build: func() (*hlir.Program, *core.Data) {
+			const in, hid = 32, 120
+			p := &hlir.Program{Name: "alvinn"}
+			w := p.NewArray("w", hlir.KFloat, in, hid)
+			x := p.NewArray("x", hlir.KFloat, in)
+			h := p.NewArray("h", hlir.KFloat, hid)
+			dlt := p.NewArray("dlt", hlir.KFloat, hid)
+			p.Outputs = []*hlir.Array{h, w}
+			i, j := iv("i"), iv("j")
+			p.Body = []hlir.Stmt{
+				// Forward: h[j] += w[i][j] * x[i]   (x[i] temporal in j).
+				hlir.For("i", ii(0), ii(in),
+					hlir.For("j", ii(0), ii(hid),
+						hlir.Set(at(h, j), add(at(h, j), mul(at(w, i, j), at(x, i)))))),
+				// Update: w[i][j] += eta * x[i] * dlt[j].
+				hlir.For("i", ii(0), ii(in),
+					hlir.For("j", ii(0), ii(hid),
+						hlir.Set(at(w, i, j),
+							add(at(w, i, j), mul(mul(ff(0.02), at(x, i)), at(dlt, j)))))),
+			}
+			d := core.NewData()
+			r := newRNG(0xa117)
+			fillF(d, w, r, -0.3, 0.3)
+			fillF(d, x, r, 0, 1)
+			fillF(d, dlt, r, -0.2, 0.2)
+			return p, d
+		},
+	}
+}
+
+// dnasa7 — the NASA matrix-manipulation kernels. The analog implements the
+// three scheduling-distinct ones: mxm (matrix multiply, the unrolling
+// star), emit (vector scale) and a triangular solve sweep. The paper's
+// biggest unrolling speedups come from this program.
+func dnasa7() Benchmark {
+	return Benchmark{
+		Name: "dnasa7", Lang: "Fortran",
+		Description: "Matrix manipulation routines",
+		Traits:      "matrix kernels; the paper's largest unrolling speedups",
+		Build: func() (*hlir.Program, *core.Data) {
+			const n = 24
+			p := &hlir.Program{Name: "dnasa7"}
+			a := p.NewArray("a", hlir.KFloat, n, n)
+			b := p.NewArray("b", hlir.KFloat, n, n)
+			c := p.NewArray("c", hlir.KFloat, n, n)
+			vec := p.NewArray("vec", hlir.KFloat, n*n)
+			p.Outputs = []*hlir.Array{c, vec}
+			i, j, k := iv("i"), iv("j"), iv("k")
+			p.Body = []hlir.Stmt{
+				// mxm: C[i][j] += A[i][k]*B[k][j], inner loop unit stride,
+				// A[i][k] temporal in j.
+				hlir.For("i", ii(0), ii(n),
+					hlir.For("k", ii(0), ii(n),
+						hlir.For("j", ii(0), ii(n),
+							hlir.Set(at(c, i, j),
+								add(at(c, i, j), mul(at(a, i, k), at(b, k, j))))))),
+				// emit: vector scale with offset.
+				hlir.For("i", ii(0), ii(n*n),
+					hlir.Set(at(vec, i), add(mul(at(vec, i), ff(0.99)), ff(0.001)))),
+				// gmtry-style pointwise kernel: independent elements.
+				hlir.For("i", ii(0), ii(n*n),
+					hlir.Set(at(vec, i), sub(mul(at(vec, i), at(vec, i)), mul(ff(0.5), at(vec, i))))),
+			}
+			d := core.NewData()
+			r := newRNG(0xda5a7)
+			fillF(d, a, r, -1, 1)
+			fillF(d, b, r, -1, 1)
+			fillF(d, vec, r, 0, 1)
+			return p, d
+		},
+	}
+}
+
+// doduc — Monte Carlo nuclear-reactor simulation: small basic blocks
+// threaded by an integer pseudo-random recurrence, with several
+// unpredicable conditionals that block unrolling entirely.
+func doduc() Benchmark {
+	return Benchmark{
+		Name: "doduc", Lang: "Fortran",
+		Description: "Monte Carlo simulation of the time evolution of a nuclear reactor component",
+		Traits:      "small blocks, multiple hard conditionals: no unrolling",
+		Build: func() (*hlir.Program, *core.Data) {
+			const n = 6000
+			const tab = 512
+			p := &hlir.Program{Name: "doduc"}
+			xs := p.NewArray("xs", hlir.KFloat, tab)
+			absorb := p.NewArray("absorb", hlir.KFloat, tab)
+			leak := p.NewArray("leak", hlir.KFloat, tab)
+			p.Outputs = []*hlir.Array{absorb, leak}
+			t := iv("t")
+			p.Body = []hlir.Stmt{
+				hlir.Set(iv("seed"), ii(12345)),
+				hlir.For("t", ii(0), ii(n),
+					// LCG advance (power-of-two modulus via mask).
+					hlir.Set(iv("seed"), hlir.Mod(add(mul(iv("seed"), ii(1103515245)), ii(12345)), ii(1<<30))),
+					hlir.Set(iv("slot"), hlir.Mod(iv("seed"), ii(tab))),
+					hlir.Set(fv("sigma"), at(xs, iv("slot"))),
+					// Two data-dependent events, each storing state:
+					// unpredicable branches.
+					hlir.WhenElse(hlir.Lt(fv("sigma"), ff(0.45)),
+						[]hlir.Stmt{hlir.Set(at(absorb, iv("slot")),
+							add(at(absorb, iv("slot")), fv("sigma")))},
+						[]hlir.Stmt{hlir.Set(at(leak, iv("slot")),
+							add(at(leak, iv("slot")), mul(fv("sigma"), ff(0.5))))}),
+					hlir.When(hlir.Lt(ff(0.9), fv("sigma")),
+						hlir.Set(at(xs, iv("slot")), mul(fv("sigma"), ff(0.7))),
+						hlir.Set(at(leak, iv("slot")), add(at(leak, iv("slot")), ff(0.01)))),
+					hlir.Set(iv("unused"), t),
+				),
+			}
+			d := core.NewData()
+			r := newRNG(0xd0d)
+			fillF(d, xs, r, 0, 1)
+			return p, d
+		},
+	}
+}
+
+// ear — human-cochlea model: a cascade of second-order filter sections
+// whose state recurrences form serial floating-point chains; fixed-latency
+// interlocks rival load interlocks, the regime where traditional
+// scheduling can edge out balanced scheduling (paper Section 5.1).
+func ear() Benchmark {
+	return Benchmark{
+		Name: "ear", Lang: "C",
+		Description: "Simulates the propagation of sound in the human cochlea",
+		Traits:      "serial FP recurrences: fixed-latency interlocks dominate",
+		Build: func() (*hlir.Program, *core.Data) {
+			const samples = 1500
+			const stages = 3
+			p := &hlir.Program{Name: "ear"}
+			inp := p.NewArray("inp", hlir.KFloat, samples)
+			inp2 := p.NewArray("inp2", hlir.KFloat, samples)
+			z1 := p.NewArray("z1", hlir.KFloat, stages)
+			z2 := p.NewArray("z2", hlir.KFloat, stages)
+			outp := p.NewArray("outp", hlir.KFloat, samples)
+			outp2 := p.NewArray("outp2", hlir.KFloat, samples)
+			p.Outputs = []*hlir.Array{outp, outp2}
+			t, s := iv("t"), iv("s")
+			// Two independent channels filter in one body: each carries a
+			// serial second-order recurrence (the cochlea cascade), the
+			// pairing supplies the modest natural ILP of the real code.
+			p.Body = []hlir.Stmt{
+				hlir.For("t", ii(0), ii(samples),
+					hlir.Set(fv("x"), at(inp, t)),
+					hlir.Set(fv("w"), at(inp2, t)),
+					hlir.For("s", ii(0), ii(stages),
+						hlir.Set(fv("y"), add(mul(ff(0.31), fv("x")), at(z1, s))),
+						hlir.Set(at(z1, s), sub(mul(ff(0.42), fv("x")), mul(ff(0.9), fv("y")))),
+						hlir.Set(fv("u"), add(mul(ff(0.27), fv("w")), at(z2, s))),
+						hlir.Set(at(z2, s), sub(mul(ff(0.38), fv("w")), mul(ff(0.8), fv("u")))),
+						hlir.Set(fv("x"), fv("y")),
+						hlir.Set(fv("w"), fv("u")),
+					),
+					hlir.Set(at(outp, t), fv("x")),
+					hlir.Set(at(outp2, t), fv("w")),
+				),
+			}
+			d := core.NewData()
+			r := newRNG(0xea1)
+			fillF(d, inp, r, -1, 1)
+			fillF(d, inp2, r, -1, 1)
+			return p, d
+		},
+	}
+}
+
+// hydro2d — hydrodynamical Navier-Stokes solver: stencil sweeps like
+// ARC2D but with more streams per iteration; strong unrolling and
+// balanced-scheduling gains.
+func hydro2d() Benchmark {
+	return Benchmark{
+		Name: "hydro2d", Lang: "Fortran",
+		Description: "Solves hydrodynamical Navier Stokes equations to compute galactical jets",
+		Traits:      "multi-stream stencils over large grids",
+		Build: func() (*hlir.Program, *core.Data) {
+			// 55-element rows defeat the locality analyzer's alignment
+			// reasoning, as for most of the paper's programs.
+			const n = 55
+			p := &hlir.Program{Name: "hydro2d"}
+			ro := p.NewArray("ro", hlir.KFloat, n, n)
+			mx := p.NewArray("mx", hlir.KFloat, n, n)
+			my := p.NewArray("my", hlir.KFloat, n, n)
+			en := p.NewArray("en", hlir.KFloat, n, n)
+			p.Outputs = []*hlir.Array{ro, en}
+			i, j := iv("i"), iv("j")
+			jm1, jp1 := sub(j, ii(1)), add(j, ii(1))
+			p.Body = []hlir.Stmt{
+				hlir.For("i", ii(1), ii(n-1),
+					hlir.For("j", ii(1), ii(n-1),
+						hlir.Set(at(ro, i, j), sub(at(ro, i, j),
+							mul(ff(0.25), sub(at(mx, i, jp1), at(mx, i, jm1))))))),
+				hlir.For("i", ii(1), ii(n-1),
+					hlir.For("j", ii(1), ii(n-1),
+						hlir.Set(at(en, i, j), add(at(en, i, j),
+							mul(ff(0.125), add(at(my, i, jm1), at(my, i, jp1))))))),
+				hlir.For("i", ii(1), ii(n-1),
+					hlir.For("j", ii(1), ii(n-1),
+						hlir.Set(at(mx, i, j), add(at(mx, i, j),
+							mul(ff(0.06), sub(at(en, i, jp1), at(en, i, jm1))))))),
+			}
+			d := core.NewData()
+			r := newRNG(0x42d0)
+			fillF(d, ro, r, 0.5, 1.5)
+			fillF(d, mx, r, -1, 1)
+			fillF(d, my, r, -1, 1)
+			fillF(d, en, r, 1, 2)
+			return p, d
+		},
+	}
+}
+
+// mdljdp2 — equations-of-motion chemistry code: pair loop with two
+// unpredicable cutoff conditionals, which keeps the unroller away
+// entirely (the paper measures a 0.4% instruction-count change).
+func mdljdp2() Benchmark {
+	return Benchmark{
+		Name: "mdljdp2", Lang: "Fortran",
+		Description: "Chemical application program that solves equations of motion for atoms",
+		Traits:      "two hard cutoff conditionals per body: unrolling blocked",
+		Build: func() (*hlir.Program, *core.Data) {
+			const atoms = 110
+			p := &hlir.Program{Name: "mdljdp2"}
+			pos := p.NewArray("pos", hlir.KFloat, atoms)
+			vel := p.NewArray("vel", hlir.KFloat, atoms)
+			force := p.NewArray("force", hlir.KFloat, atoms)
+			p.Outputs = []*hlir.Array{force, vel}
+			i, j := iv("i"), iv("j")
+			p.Body = []hlir.Stmt{
+				hlir.For("i", ii(1), ii(atoms),
+					hlir.For("j", ii(0), iv("i"),
+						hlir.Set(fv("dr"), sub(at(pos, i), at(pos, j))),
+						hlir.Set(fv("r2"), add(mul(fv("dr"), fv("dr")), ff(0.02))),
+						hlir.Set(fv("lj"), sub(div(ff(0.8), mul(fv("r2"), fv("r2"))), div(ff(0.3), fv("r2")))),
+						hlir.When(hlir.Lt(fv("r2"), ff(1.2)),
+							hlir.Set(at(force, i), add(at(force, i), mul(fv("lj"), fv("dr")))),
+							hlir.Set(at(force, j), sub(at(force, j), mul(fv("lj"), fv("dr"))))),
+						hlir.When(hlir.Lt(ff(2.8), fv("r2")),
+							hlir.Set(at(vel, j), mul(at(vel, j), ff(0.999)))),
+					)),
+			}
+			d := core.NewData()
+			r := newRNG(0x3d1)
+			fillF(d, pos, r, -2, 2)
+			fillF(d, vel, r, -0.5, 0.5)
+			return p, d
+		},
+	}
+}
+
+// ora — ray tracing through an optical system: execution lives in one
+// large, loop-free routine body (here a long straight-line loop body full
+// of divides and square roots) with almost no memory traffic — nothing to
+// unroll and no load interlocks to hide.
+func ora() Benchmark {
+	return Benchmark{
+		Name: "ora", Lang: "Fortran",
+		Description: "Traces rays through an optical system composed of spherical and planar surfaces",
+		Traits:      "large loop-free body, FP divide/sqrt chains, almost no loads",
+		Build: func() (*hlir.Program, *core.Data) {
+			const rays = 1800
+			p := &hlir.Program{Name: "ora"}
+			angle := p.NewArray("angle", hlir.KFloat, rays)
+			image := p.NewArray("image", hlir.KFloat, rays)
+			p.Outputs = []*hlir.Array{image}
+			t := iv("t")
+			var body []hlir.Stmt
+			body = append(body,
+				hlir.Set(fv("dir"), at(angle, t)),
+				hlir.Set(fv("h"), ff(1)),
+			)
+			// Four surfaces, each a refraction with sqrt and divide.
+			for s := 0; s < 4; s++ {
+				curv := 0.2 + 0.15*float64(s)
+				body = append(body,
+					hlir.Set(fv("d2"), add(mul(fv("dir"), fv("dir")), ff(curv))),
+					hlir.Set(fv("root"), hlir.Sqrt(fv("d2"))),
+					hlir.Set(fv("h"), add(fv("h"), div(fv("dir"), fv("root")))),
+					hlir.Set(fv("dir"), sub(mul(fv("dir"), ff(0.92)), mul(fv("h"), ff(curv*0.1)))),
+				)
+			}
+			body = append(body, hlir.Set(at(image, t), fv("h")))
+			p.Body = []hlir.Stmt{hlir.For("t", ii(0), ii(rays), body...)}
+			d := core.NewData()
+			r := newRNG(0x04a)
+			fillF(d, angle, r, -0.8, 0.8)
+			return p, d
+		},
+	}
+}
+
+// spice2g6 — circuit simulation: sparse matrix-vector products through
+// index vectors. Indirect references defeat both array disambiguation and
+// locality analysis, and the accesses miss constantly — the benchmark
+// where load interlocks dominate both schedulers (paper Table 5: ~30% of
+// cycles).
+func spice2g6() Benchmark {
+	return Benchmark{
+		Name: "spice2g6", Lang: "Fortran",
+		Description: "Circuit simulation package",
+		Traits:      "sparse indirection: no disambiguation, no locality, heavy misses",
+		Build: func() (*hlir.Program, *core.Data) {
+			const nnz = 5000
+			const dim = 16384 // 128KB vector: beyond the L2 cache
+			p := &hlir.Program{Name: "spice2g6"}
+			av := p.NewArray("av", hlir.KFloat, nnz)
+			ci := p.NewArray("ci", hlir.KInt, nnz)
+			ri := p.NewArray("ri", hlir.KInt, nnz)
+			x := p.NewArray("x", hlir.KFloat, dim)
+			y := p.NewArray("y", hlir.KFloat, dim)
+			conv := p.NewArray("conv", hlir.KFloat, 8)
+			p.Outputs = []*hlir.Array{y, conv}
+			k := iv("k")
+			p.Body = []hlir.Stmt{
+				hlir.For("k", ii(0), ii(nnz),
+					hlir.Set(fv("contrib"), mul(at(av, k), at(x, at(ci, k)))),
+					hlir.Set(at(y, at(ri, k)), add(at(y, at(ri, k)), fv("contrib"))),
+					// Convergence bookkeeping: two unpredicable branches
+					// keep the loop out of the unroller, as in the paper.
+					hlir.When(hlir.Lt(ff(0.99), fv("contrib")),
+						hlir.Set(at(conv, ii(0)), add(at(conv, ii(0)), ff(1)))),
+					hlir.When(hlir.Lt(fv("contrib"), ff(-0.99)),
+						hlir.Set(at(conv, ii(1)), add(at(conv, ii(1)), ff(1)))),
+				),
+			}
+			d := core.NewData()
+			r := newRNG(0x5b1ce)
+			fillF(d, av, r, -1, 1)
+			fillF(d, x, r, -1, 1)
+			cis := make([]int64, nnz)
+			ris := make([]int64, nnz)
+			for k := 0; k < nnz; k++ {
+				cis[k] = r.i64(dim)
+				ris[k] = r.i64(dim)
+			}
+			d.I[ci] = cis
+			d.I[ri] = ris
+			return p, d
+		},
+	}
+}
+
+// su2cor — quark-gluon mass computation: small complex-matrix products
+// per lattice site; sizable blocks with real load-level parallelism even
+// before unrolling (the paper's strongest no-optimization BS advantage).
+func su2cor() Benchmark {
+	return Benchmark{
+		Name: "su2cor", Lang: "Fortran",
+		Description: "Computes masses of elementary particles in the framework of the Quark-Gluon theory",
+		Traits:      "2×2 complex products per site: parallel loads without unrolling",
+		Build: func() (*hlir.Program, *core.Data) {
+			const sites = 1200
+			p := &hlir.Program{Name: "su2cor"}
+			// Four link components per site, two operands and a result.
+			g0 := p.NewArray("g0", hlir.KFloat, sites)
+			g1 := p.NewArray("g1", hlir.KFloat, sites)
+			g2 := p.NewArray("g2", hlir.KFloat, sites)
+			g3 := p.NewArray("g3", hlir.KFloat, sites)
+			h0 := p.NewArray("h0", hlir.KFloat, sites)
+			h1 := p.NewArray("h1", hlir.KFloat, sites)
+			h2 := p.NewArray("h2", hlir.KFloat, sites)
+			h3 := p.NewArray("h3", hlir.KFloat, sites)
+			o0 := p.NewArray("o0", hlir.KFloat, sites)
+			o3 := p.NewArray("o3", hlir.KFloat, sites)
+			p.Outputs = []*hlir.Array{o0, o3}
+			s := iv("s")
+			// Quaternion-style products: many independent loads per
+			// statement, one output stream per loop.
+			p.Body = []hlir.Stmt{
+				hlir.For("s", ii(0), ii(sites),
+					hlir.Set(at(o0, s), sub(sub(sub(mul(at(g0, s), at(h0, s)),
+						mul(at(g1, s), at(h1, s))),
+						mul(at(g2, s), at(h2, s))),
+						mul(at(g3, s), at(h3, s))))),
+				hlir.For("s", ii(0), ii(sites),
+					hlir.Set(at(o3, s), add(add(mul(at(g0, s), at(h3, s)),
+						mul(at(g3, s), at(h0, s))),
+						sub(mul(at(g1, s), at(h2, s)), mul(at(g2, s), at(h1, s)))))),
+			}
+			d := core.NewData()
+			r := newRNG(0x52c0)
+			for _, a := range []*hlir.Array{g0, g1, g2, g3, h0, h1, h2, h3} {
+				fillF(d, a, r, -1, 1)
+			}
+			return p, d
+		},
+	}
+}
+
+// swm256 — shallow-water equations: a wide multi-array stencil whose body
+// exceeds the factor-4 unrolling budget; only the factor-8 experiment's
+// higher limit admits (partial) unrolling, reproducing the paper's
+// footnote about swm256.
+func swm256() Benchmark {
+	return Benchmark{
+		Name: "swm256", Lang: "Fortran",
+		Description: "Solves shallow water equations using finite difference equations",
+		Traits:      "wide stencil body: blocked at the 64-instruction limit, unrolls at 128",
+		Build: func() (*hlir.Program, *core.Data) {
+			const n = 64
+			p := &hlir.Program{Name: "swm256"}
+			u := p.NewArray("u", hlir.KFloat, n, n)
+			v := p.NewArray("v", hlir.KFloat, n, n)
+			pr := p.NewArray("pr", hlir.KFloat, n, n)
+			cu := p.NewArray("cu", hlir.KFloat, n, n)
+			cv := p.NewArray("cv", hlir.KFloat, n, n)
+			h := p.NewArray("h", hlir.KFloat, n, n)
+			p.Outputs = []*hlir.Array{cu, cv, h}
+			i, j := iv("i"), iv("j")
+			jm1, jp1 := sub(j, ii(1)), add(j, ii(1))
+			im1, ip1 := sub(i, ii(1)), add(i, ii(1))
+			p.Body = []hlir.Stmt{
+				hlir.For("i", ii(1), ii(n-1),
+					hlir.For("j", ii(1), ii(n-1),
+						hlir.Set(fv("pu"), mul(ff(0.5), add(at(pr, i, j), at(pr, i, jm1)))),
+						hlir.Set(fv("pv"), mul(ff(0.5), add(at(pr, i, j), at(pr, im1, j)))),
+						hlir.Set(at(cu, i, j), mul(fv("pu"), at(u, i, j))),
+						hlir.Set(at(cv, i, j), mul(fv("pv"), at(v, i, j))),
+						hlir.Set(fv("z"), add(sub(at(v, i, jp1), at(v, i, jm1)),
+							sub(at(u, ip1, j), at(u, im1, j)))),
+						hlir.Set(at(h, i, j), add(at(pr, i, j),
+							mul(ff(0.25), add(mul(at(u, i, j), at(u, i, j)),
+								mul(at(v, i, j), at(v, i, j)))))),
+						hlir.Set(at(h, i, j), add(at(h, i, j), mul(ff(0.01), fv("z")))),
+					)),
+			}
+			d := core.NewData()
+			r := newRNG(0x530)
+			fillF(d, u, r, -1, 1)
+			fillF(d, v, r, -1, 1)
+			fillF(d, pr, r, 1, 2)
+			return p, d
+		},
+	}
+}
+
+// tomcatv — vectorised mesh generation: long, purely sequential passes
+// over large read-only arrays — the locality-analysis standout (the paper
+// reports a 1.5 speedup from locality analysis alone).
+func tomcatv() Benchmark {
+	return Benchmark{
+		Name: "tomcatv", Lang: "Fortran",
+		Description: "Vectorized mesh generation program",
+		Traits:      "sequential reads of large read-only arrays: locality star",
+		Build: func() (*hlir.Program, *core.Data) {
+			const n = 96
+			p := &hlir.Program{Name: "tomcatv"}
+			x := p.NewArray("x", hlir.KFloat, n, n)
+			y := p.NewArray("y", hlir.KFloat, n, n)
+			rx := p.NewArray("rx", hlir.KFloat, n, n)
+			ry := p.NewArray("ry", hlir.KFloat, n, n)
+			p.Outputs = []*hlir.Array{rx, ry}
+			i, j := iv("i"), iv("j")
+			jm1, jp1 := sub(j, ii(1)), add(j, ii(1))
+			p.Body = []hlir.Stmt{
+				hlir.For("i", ii(1), ii(n-1),
+					hlir.For("j", ii(1), ii(n-1),
+						hlir.Set(at(rx, i, j),
+							mul(sub(at(x, i, jp1), at(x, i, jm1)),
+								sub(at(y, i, jp1), at(y, i, jm1)))))),
+				hlir.For("i", ii(1), ii(n-1),
+					hlir.For("j", ii(1), ii(n-1),
+						hlir.Set(at(ry, i, j),
+							add(mul(at(x, i, j), at(x, i, j)),
+								mul(at(y, i, jp1), at(y, i, jm1)))))),
+			}
+			d := core.NewData()
+			r := newRNG(0x70c)
+			fillF(d, x, r, -4, 4)
+			fillF(d, y, r, -4, 4)
+			return p, d
+		},
+	}
+}
