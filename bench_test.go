@@ -12,6 +12,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/core"
@@ -127,6 +128,26 @@ func BenchmarkTable9(b *testing.B) {
 		s := runSuite(b, names)
 		b.ReportMetric(avgSpeedup(s, []string{"tomcatv"}, bsNone, bsLA), "tomcatv-LA")
 		b.ReportMetric(avgSpeedup(s, names, bsNone, bsLA8), "speedup-LA-LU8")
+	}
+}
+
+// BenchmarkGridEngine measures the cell-parallel experiment engine on
+// the table subset at one worker, at GOMAXPROCS workers and
+// oversubscribed, so scheduler-granularity wins (and regressions) show
+// up as ns/op deltas on multi-core hardware.
+func BenchmarkGridEngine(b *testing.B) {
+	for _, jobs := range []int{1, 0, 32} {
+		name := fmt.Sprintf("jobs=%d", jobs)
+		if jobs == 0 {
+			name = "jobs=gomaxprocs"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := exp.RunGrid(tableSubset, exp.Options{Jobs: jobs}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -2,13 +2,17 @@
 // workload program under all sixteen scheduling/optimization
 // configurations, simulates each on the Alpha 21164 model, verifies that
 // all configurations compute identical program outputs, and prints the
-// requested tables.
+// requested tables. The grid executes on the cell-parallel engine: every
+// (benchmark, configuration) cell is an independent unit of work.
 //
 // Usage:
 //
-//	paperbench [-table N] [-bench name,name,...] [-v]
+//	paperbench [-table N] [-bench name,name,...] [-jobs N] [-json] [-v]
 //
-// With no flags it prints every table (1-9).
+// With no flags it prints every table (1-9). -jobs bounds concurrent
+// cells (default GOMAXPROCS); -json emits the raw grid — per-cell metrics
+// and phase timings — instead of rendered tables; -v streams live
+// cells-done/total progress to stderr.
 package main
 
 import (
@@ -25,7 +29,9 @@ func main() {
 	table := flag.Int("table", 0, "print only table N (1-9); 0 = all")
 	benchList := flag.String("bench", "", "comma-separated benchmark subset (default: all 17)")
 	ext := flag.Bool("ext", false, "also run the extension experiments (E1 superscalar, E2 policies, E3 prefetching)")
-	verbose := flag.Bool("v", false, "print per-benchmark progress")
+	jobs := flag.Int("jobs", 0, "max concurrently executing grid cells (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (per-cell metrics + phase timings) instead of tables")
+	verbose := flag.Bool("v", false, "print live per-cell progress")
 	flag.Parse()
 
 	var names []string
@@ -33,12 +39,32 @@ func main() {
 		names = strings.Split(*benchList, ",")
 	}
 
+	start := time.Now()
+	opt := exp.Options{Jobs: *jobs}
+	if *verbose {
+		opt.Progress = func(done, total int, bench, config string) {
+			fmt.Fprintf(os.Stderr, "[%6.1fs] %3d/%d %s %s\n",
+				time.Since(start).Seconds(), done, total, bench, config)
+		}
+	}
+
 	if *ext && *table == 0 {
-		for _, f := range []func([]string) (*exp.Table, error){exp.TableE1, exp.TableE2, exp.TableE3} {
-			t, err := f(names)
+		if *jsonOut {
+			for _, f := range []func([]string, ...exp.Options) ([]exp.ExtResult, error){exp.RunE1, exp.RunE2, exp.RunE3} {
+				res, err := f(names, opt)
+				if err != nil {
+					fatal(err)
+				}
+				if err := exp.WriteExtJSON(os.Stdout, res); err != nil {
+					fatal(err)
+				}
+			}
+			return
+		}
+		for _, f := range []func([]string, ...exp.Options) (*exp.Table, error){exp.TableE1, exp.TableE2, exp.TableE3} {
+			t, err := f(names, opt)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "paperbench:", err)
-				os.Exit(1)
+				fatal(err)
 			}
 			t.Write(os.Stdout)
 		}
@@ -52,20 +78,19 @@ func main() {
 		return
 	}
 
-	start := time.Now()
-	progress := func(string) {}
-	if *verbose {
-		progress = func(b string) {
-			fmt.Fprintf(os.Stderr, "[%6.1fs] %s done\n", time.Since(start).Seconds(), b)
-		}
-	}
-	suite, err := exp.Run(names, progress)
+	suite, err := exp.RunGrid(names, opt)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "paperbench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "grid complete in %.1fs\n", time.Since(start).Seconds())
+	}
+
+	if *jsonOut {
+		if err := suite.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	dynamic := map[int]func() *exp.Table{
@@ -87,4 +112,9 @@ func main() {
 	for _, t := range suite.Tables() {
 		t.Write(os.Stdout)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paperbench:", err)
+	os.Exit(1)
 }

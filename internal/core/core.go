@@ -17,6 +17,7 @@ import (
 	"math"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/hlir"
 	"repro/internal/ir"
@@ -114,22 +115,50 @@ type Compiled struct {
 	Prefetches int
 	// LICM reports hoisting when the optional pass ran.
 	LICM *licm.Report
+	// Phases records wall-clock per pipeline phase (Sim is left zero; the
+	// experiment engine fills it when it executes the result).
+	Phases PhaseTimes
 }
 
 // Compile runs the configured pipeline on p. The data is needed when
 // trace scheduling is enabled, because trace selection is profile driven —
 // the paper profiles each program on its input before compiling with
-// traces (Section 4.2). The input program is never mutated.
+// traces (Section 4.2).
+//
+// Immutability contract: Compile never mutates p or data. Every transform
+// (locality, unroll, prefetch) clones before rewriting, and a
+// pass-through configuration clones explicitly, so one front-end — a
+// built program, its input data and its Reference checksum — may be
+// shared read-only across any number of concurrent Compile calls. The
+// cell-parallel experiment engine (internal/exp) depends on this.
 func Compile(p *hlir.Program, cfg Config, data *Data) (*Compiled, error) {
+	return CompileCached(p, cfg, data, nil)
+}
+
+// CompileCached is Compile with an optional profile cache: when profiles
+// is non-nil, the execution-driven edge profile trace scheduling needs is
+// looked up there and collected (then stored) only on a miss. Profiles
+// depend only on the configuration's transform prefix, so configurations
+// differing solely in scheduler policy share one profiling run. The cache
+// must be dedicated to this (p, data) pair.
+func CompileCached(p *hlir.Program, cfg Config, data *Data, profiles *ProfileCache) (*Compiled, error) {
 	prog := p
 	out := &Compiled{Config: cfg}
+	mark := time.Now()
+	lap := func(d *time.Duration) {
+		now := time.Now()
+		*d += now.Sub(mark)
+		mark = now
+	}
 	if cfg.Locality {
 		prog, out.Locality = locality.Apply(prog, cfg.Unroll)
+		lap(&out.Phases.Locality)
 	}
 	if cfg.Unroll > 0 {
 		// After locality analysis, reuse loops carry NoUnroll and keep
 		// their hit/miss marks; the general unroller handles the rest.
 		prog = unroll.Apply(prog, cfg.Unroll)
+		lap(&out.Phases.Unroll)
 	}
 	if cfg.Prefetch {
 		prog, out.Prefetches = prefetch.Apply(prog)
@@ -137,6 +166,7 @@ func Compile(p *hlir.Program, cfg Config, data *Data) (*Compiled, error) {
 	if prog == p {
 		prog = p.Clone()
 	}
+	mark = time.Now()
 	res, err := lower.Lower(prog)
 	if err != nil {
 		return nil, err
@@ -147,19 +177,36 @@ func Compile(p *hlir.Program, cfg Config, data *Data) (*Compiled, error) {
 	if cfg.LICM {
 		out.LICM = licm.Apply(res.Fn)
 	}
+	lap(&out.Phases.Lower)
 
 	if cfg.Trace {
-		edges, err := profile.Collect(res.Fn, func(m *sim.Machine) {
-			InitMachine(m, res.ArrayID, data)
-		})
-		if err != nil {
-			return nil, fmt.Errorf("core: profiling %s: %w", p.Name, err)
+		var edges profile.Edges
+		if profiles != nil {
+			edges = profiles.get(cfg)
+		}
+		if edges == nil {
+			edges, err = profile.Collect(res.Fn, func(m *sim.Machine) {
+				InitMachine(m, res.ArrayID, data)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("core: profiling %s: %w", p.Name, err)
+			}
+			if profiles != nil {
+				profiles.put(cfg, edges)
+			}
+			lap(&out.Phases.Profile)
+		} else {
+			// Cache hit: the counts are for an identical CFG; only the
+			// per-block frequency annotation must be redone on this clone.
+			profile.Annotate(res.Fn, edges)
+			mark = time.Now()
 		}
 		rep, err := trace.ScheduleAll(res.Fn, edges, cfg.Policy)
 		if err != nil {
 			return nil, fmt.Errorf("core: trace scheduling %s: %w", p.Name, err)
 		}
 		out.Trace = rep
+		lap(&out.Phases.Trace)
 	} else {
 		for _, b := range res.Fn.Blocks {
 			trace.ScheduleBlock(res.Fn, b, cfg.Policy)
@@ -167,6 +214,7 @@ func Compile(p *hlir.Program, cfg Config, data *Data) (*Compiled, error) {
 		if err := res.Fn.Validate(); err != nil {
 			return nil, fmt.Errorf("core: block scheduling %s: %w", p.Name, err)
 		}
+		lap(&out.Phases.Sched)
 	}
 
 	alloc, err := regalloc.Allocate(res.Fn)
@@ -174,6 +222,7 @@ func Compile(p *hlir.Program, cfg Config, data *Data) (*Compiled, error) {
 		return nil, fmt.Errorf("core: allocating %s: %w", p.Name, err)
 	}
 	out.Alloc = alloc
+	lap(&out.Phases.Regalloc)
 	return out, nil
 }
 

@@ -32,6 +32,12 @@ func TestPipelineFuzz(t *testing.T) {
 		{Policy: sched.Balanced, Trace: true, Unroll: 4},
 		{Policy: sched.Balanced, Locality: true, Trace: true, Unroll: 8},
 		{Policy: sched.Traditional, Trace: true, Unroll: 4},
+		// Grid cells the list above was missing, so the corpus covers
+		// every one of exp.Cells()'s 16 configurations.
+		{Policy: sched.Traditional, Unroll: 4},
+		{Policy: sched.Traditional, Trace: true, Unroll: 8},
+		{Policy: sched.Balanced, Locality: true, Unroll: 4},
+		{Policy: sched.Balanced, Locality: true, Trace: true, Unroll: 4},
 	}
 	const trials = 25
 	rng := rand.New(rand.NewSource(20260705))

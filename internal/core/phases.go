@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/profile"
+)
+
+// PhaseTimes records the wall-clock time spent in each pipeline phase for
+// one compilation (plus simulation, filled in by harnesses that execute
+// the result). The zero value means "phase did not run". Durations
+// marshal to JSON as integer nanoseconds.
+type PhaseTimes struct {
+	// Locality is time in locality analysis (reuse detection, peeling,
+	// hit/miss marking).
+	Locality time.Duration `json:"locality"`
+	// Unroll is time in loop unrolling (including postconditioning).
+	Unroll time.Duration `json:"unroll"`
+	// Lower is time lowering HLIR to the Alpha-like IR.
+	Lower time.Duration `json:"lower"`
+	// Profile is time collecting the execution-driven edge profile (trace
+	// scheduling only; zero when the profile came from a ProfileCache).
+	Profile time.Duration `json:"profile"`
+	// Trace is time in trace formation and trace scheduling.
+	Trace time.Duration `json:"trace"`
+	// Sched is time in per-block list scheduling (the non-trace path).
+	Sched time.Duration `json:"sched"`
+	// Regalloc is time in register allocation.
+	Regalloc time.Duration `json:"regalloc"`
+	// Sim is time simulating the compiled code (filled by the experiment
+	// engine, not by Compile).
+	Sim time.Duration `json:"sim"`
+}
+
+// Total sums all recorded phases.
+func (t PhaseTimes) Total() time.Duration {
+	return t.Locality + t.Unroll + t.Lower + t.Profile + t.Trace +
+		t.Sched + t.Regalloc + t.Sim
+}
+
+// Add accumulates o into t (for aggregating across cells).
+func (t *PhaseTimes) Add(o PhaseTimes) {
+	t.Locality += o.Locality
+	t.Unroll += o.Unroll
+	t.Lower += o.Lower
+	t.Profile += o.Profile
+	t.Trace += o.Trace
+	t.Sched += o.Sched
+	t.Regalloc += o.Regalloc
+	t.Sim += o.Sim
+}
+
+func (t PhaseTimes) String() string {
+	return fmt.Sprintf("locality=%v unroll=%v lower=%v profile=%v trace=%v sched=%v regalloc=%v sim=%v",
+		t.Locality, t.Unroll, t.Lower, t.Profile, t.Trace, t.Sched, t.Regalloc, t.Sim)
+}
+
+// ProfileCache memoizes execution-driven edge profiles across the
+// configurations of one (program, data) pair. The profile is collected on
+// the lowered-but-unscheduled function, which depends only on the HLIR
+// transforms (locality, unrolling, prefetch, LICM) — not on the scheduler
+// policy — so e.g. TS+TrS+LU4 and BS+TrS+LU4 share one profiling run.
+// Edge counts are keyed by stable block IDs and lowering is deterministic,
+// so a cached profile annotates any function lowered from the same
+// transformed program. Safe for concurrent use.
+//
+// A cache must not be shared across different programs or input data:
+// the key only encodes the configuration's transform prefix.
+type ProfileCache struct {
+	mu sync.Mutex
+	m  map[string]profile.Edges
+}
+
+// NewProfileCache returns an empty cache.
+func NewProfileCache() *ProfileCache {
+	return &ProfileCache{m: map[string]profile.Edges{}}
+}
+
+// transformKey identifies the pipeline prefix ahead of profiling: every
+// configuration with the same key lowers to an identical CFG.
+func transformKey(cfg Config) string {
+	return fmt.Sprintf("LA=%v LU=%d PF=%v LICM=%v", cfg.Locality, cfg.Unroll, cfg.Prefetch, cfg.LICM)
+}
+
+func (pc *ProfileCache) get(cfg Config) profile.Edges {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.m[transformKey(cfg)]
+}
+
+func (pc *ProfileCache) put(cfg Config, e profile.Edges) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.m[transformKey(cfg)] = e
+}

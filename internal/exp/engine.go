@@ -1,0 +1,239 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hlir"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// This file is the cell-parallel experiment engine. The grid's unit of
+// work is one (benchmark, configuration) cell, not one benchmark: a
+// bounded worker pool pulls cells from a queue, the benchmark front-end
+// (workload build + reference interpretation + edge-profile cache) runs
+// exactly once per benchmark and is shared read-only across its cells
+// (core.Compile's documented immutability contract), and finished cells
+// stream through a channel into a single aggregator goroutine — the only
+// writer of the result set — so the engine is clean under -race by
+// construction. The main grid (Run), the extension grids (E1/E2/E3) and
+// the fuzzing harness all execute through runGrid.
+
+// Options configures a grid run.
+type Options struct {
+	// Jobs bounds the number of concurrently executing cells; 0 or
+	// negative means GOMAXPROCS.
+	Jobs int
+	// Progress, when non-nil, is called after each completed cell with
+	// the running completion count, the total number of cells, and the
+	// finished cell's benchmark and configuration names. It is invoked
+	// from a single goroutine and needs no locking.
+	Progress func(done, total int, bench, config string)
+}
+
+func (o Options) jobs() int {
+	if o.Jobs > 0 {
+		return o.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// cellSpec is one column of a grid: a configuration plus the issue
+// widths to simulate it at (nil means the paper's single-issue machine).
+type cellSpec struct {
+	cfg    core.Config
+	widths []int
+}
+
+// cellResult is one completed cell.
+type cellResult struct {
+	bench  string
+	cfg    core.Config
+	mets   map[int]*sim.Metrics // by issue width
+	static *core.Compiled
+	phases core.PhaseTimes
+}
+
+// frontEnd lazily builds one benchmark's shared state: the program, its
+// input data, the reference interpreter's checksum and the per-benchmark
+// profile cache. The first cell of a benchmark pays for it; every later
+// cell reads it without copying.
+type frontEnd struct {
+	b        workload.Benchmark
+	once     sync.Once
+	p        *hlir.Program
+	d        *core.Data
+	want     uint64
+	profiles *core.ProfileCache
+	err      error
+}
+
+func (f *frontEnd) get() (*hlir.Program, *core.Data, uint64, *core.ProfileCache, error) {
+	f.once.Do(func() {
+		f.p, f.d = f.b.Build()
+		f.profiles = core.NewProfileCache()
+		f.want, f.err = core.Reference(f.p, f.d)
+		if f.err != nil {
+			f.err = fmt.Errorf("exp: %s reference: %w", f.b.Name, f.err)
+		}
+	})
+	return f.p, f.d, f.want, f.profiles, f.err
+}
+
+// runCell compiles and simulates one cell, enforcing the output-checksum
+// oracle at every width.
+func runCell(fe *frontEnd, spec cellSpec) (*cellResult, error) {
+	p, d, want, profiles, err := fe.get()
+	if err != nil {
+		return nil, err
+	}
+	c, err := core.CompileCached(p, spec.cfg, d, profiles)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s %s: %w", fe.b.Name, spec.cfg.Name(), err)
+	}
+	widths := spec.widths
+	if len(widths) == 0 {
+		widths = []int{1}
+	}
+	out := &cellResult{
+		bench:  fe.b.Name,
+		cfg:    spec.cfg,
+		mets:   make(map[int]*sim.Metrics, len(widths)),
+		static: c,
+		phases: c.Phases,
+	}
+	for _, w := range widths {
+		start := time.Now()
+		met, got, err := core.ExecuteWidth(c, d, w)
+		out.phases.Sim += time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s %s w%d: %w", fe.b.Name, spec.cfg.Name(), w, err)
+		}
+		if got != want {
+			return nil, fmt.Errorf("exp: %s %s w%d: output checksum %x, want %x (miscompilation)",
+				fe.b.Name, spec.cfg.Name(), w, got, want)
+		}
+		out.mets[w] = met
+	}
+	return out, nil
+}
+
+// runGrid executes every (benchmark, spec) cell under opt and feeds
+// completed cells to emit, which runs on the caller's goroutine — the
+// single aggregation point — in completion order. The first cell error
+// aborts the remaining queue and is returned after in-flight cells drain.
+func runGrid(benches []workload.Benchmark, specs []cellSpec, opt Options, emit func(cellResult)) error {
+	fes := make([]*frontEnd, len(benches))
+	for i, b := range benches {
+		fes[i] = &frontEnd{b: b}
+	}
+
+	type task struct {
+		fe   *frontEnd
+		spec cellSpec
+	}
+	var (
+		aborted  atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			aborted.Store(true)
+		})
+	}
+
+	tasks := make(chan task)
+	go func() {
+		defer close(tasks)
+		for _, fe := range fes {
+			for _, spec := range specs {
+				if aborted.Load() {
+					return
+				}
+				tasks <- task{fe: fe, spec: spec}
+			}
+		}
+	}()
+
+	results := make(chan *cellResult)
+	var wg sync.WaitGroup
+	for w := 0; w < opt.jobs(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range tasks {
+				if aborted.Load() {
+					continue
+				}
+				r, err := runCell(t.fe, t.spec)
+				if err != nil {
+					fail(err)
+					continue
+				}
+				results <- r
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	total := len(benches) * len(specs)
+	done := 0
+	for r := range results {
+		emit(*r)
+		done++
+		if opt.Progress != nil {
+			opt.Progress(done, total, r.bench, r.cfg.Name())
+		}
+	}
+	return firstErr
+}
+
+// RunGrid runs the paper's full 16-configuration grid over the named
+// benchmarks (all seventeen when names is empty) on the cell-parallel
+// engine.
+func RunGrid(names []string, opt Options) (*Suite, error) {
+	benches, err := pick(names)
+	if err != nil {
+		return nil, err
+	}
+	return RunBenchmarks(benches, opt)
+}
+
+// RunBenchmarks is RunGrid for pre-resolved benchmarks — including
+// synthetic ones (e.g. the fuzzing harness wraps random programs in
+// ad-hoc workload.Benchmark values and pushes them through the same
+// engine and oracle as the paper grid).
+func RunBenchmarks(benches []workload.Benchmark, opt Options) (*Suite, error) {
+	s := &Suite{results: map[string]map[string]*Result{}}
+	for _, b := range benches {
+		s.Benchmarks = append(s.Benchmarks, b.Name)
+		s.results[b.Name] = map[string]*Result{}
+	}
+	specs := make([]cellSpec, 0, len(Cells()))
+	for _, cfg := range Cells() {
+		specs = append(specs, cellSpec{cfg: cfg})
+	}
+	err := runGrid(benches, specs, opt, func(r cellResult) {
+		s.results[r.bench][r.cfg.Name()] = &Result{
+			Bench:   r.bench,
+			Config:  r.cfg,
+			Metrics: r.mets[1],
+			Static:  r.static,
+			Phases:  r.phases,
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}

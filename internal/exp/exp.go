@@ -6,11 +6,15 @@
 // paper's Tables 4 through 9. Output correctness is enforced on every
 // cell: a configuration whose simulated output differs from the reference
 // interpreter's fails the run.
+//
+// Execution is cell-parallel (see engine.go): a bounded worker pool runs
+// individual (benchmark, configuration) cells, sharing each benchmark's
+// front-end — built program, input data, reference checksum, edge-profile
+// cache — read-only across its sixteen cells.
 package exp
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 
@@ -57,14 +61,17 @@ type Result struct {
 	Metrics *sim.Metrics
 	// Static carries compile-time phase reports.
 	Static *core.Compiled
+	// Phases records the cell's wall-clock per pipeline phase, including
+	// simulation.
+	Phases core.PhaseTimes
 }
 
-// Suite holds a full grid of results.
+// Suite holds a full grid of results. It is filled by a single aggregator
+// goroutine during Run and read-only afterwards.
 type Suite struct {
 	// Benchmarks lists benchmark names in table order.
 	Benchmarks []string
 
-	mu      sync.Mutex
 	results map[string]map[string]*Result // bench -> config name -> result
 }
 
@@ -84,74 +91,24 @@ func (s *Suite) metrics(bench string, cfg core.Config) *sim.Metrics {
 }
 
 // Run executes the whole grid for the given benchmarks (all benchmarks
-// when names is empty), in parallel across benchmarks. Progress, when
-// non-nil, receives one line per completed benchmark.
+// when names is empty) on the cell-parallel engine with default options.
+// Progress, when non-nil, receives one line per completed benchmark (the
+// engine's per-cell progress, folded; use RunGrid with Options.Progress
+// for cell granularity).
 func Run(names []string, progress func(string)) (*Suite, error) {
-	var benches []workload.Benchmark
-	if len(names) == 0 {
-		benches = workload.All()
-	} else {
-		for _, n := range names {
-			b, err := workload.ByName(n)
-			if err != nil {
-				return nil, err
+	var opt Options
+	if progress != nil {
+		cells := len(Cells())
+		perBench := map[string]int{}
+		// Called from the engine's single aggregator goroutine.
+		opt.Progress = func(done, total int, bench, config string) {
+			perBench[bench]++
+			if perBench[bench] == cells {
+				progress(bench)
 			}
-			benches = append(benches, b)
 		}
 	}
-	s := &Suite{results: map[string]map[string]*Result{}}
-	for _, b := range benches {
-		s.Benchmarks = append(s.Benchmarks, b.Name)
-		s.results[b.Name] = map[string]*Result{}
-	}
-
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	errs := make([]error, len(benches))
-	for bi, b := range benches {
-		wg.Add(1)
-		go func(bi int, b workload.Benchmark) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			errs[bi] = s.runBenchmark(b)
-			if progress != nil {
-				progress(b.Name)
-			}
-		}(bi, b)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return s, nil
-}
-
-func (s *Suite) runBenchmark(b workload.Benchmark) error {
-	p, d := b.Build()
-	want, err := core.Reference(p, d)
-	if err != nil {
-		return fmt.Errorf("exp: %s reference: %w", b.Name, err)
-	}
-	for _, cfg := range Cells() {
-		c, err := core.Compile(p, cfg, d)
-		if err != nil {
-			return fmt.Errorf("exp: %s %s: %w", b.Name, cfg.Name(), err)
-		}
-		met, got, err := core.Execute(c, d)
-		if err != nil {
-			return fmt.Errorf("exp: %s %s: %w", b.Name, cfg.Name(), err)
-		}
-		if got != want {
-			return fmt.Errorf("exp: %s %s: output checksum %x, want %x (miscompilation)", b.Name, cfg.Name(), got, want)
-		}
-		s.mu.Lock()
-		s.results[b.Name][cfg.Name()] = &Result{Bench: b.Name, Config: cfg, Metrics: met, Static: c}
-		s.mu.Unlock()
-	}
-	return nil
+	return RunGrid(names, opt)
 }
 
 // speedup returns base/new cycle ratio (>1 means new is faster).
@@ -192,11 +149,23 @@ func (s *Suite) sortedBenches() []string {
 	return out
 }
 
+// benchRanks maps benchmark name to its paper Table 1 position, built
+// once — sortedBenches used to rebuild workload.All() on every sort
+// comparison.
+var benchRanks = struct {
+	once sync.Once
+	m    map[string]int
+}{}
+
 func benchRank(name string) int {
-	for i, b := range workload.All() {
-		if b.Name == name {
-			return i
+	benchRanks.once.Do(func() {
+		benchRanks.m = make(map[string]int)
+		for i, b := range workload.All() {
+			benchRanks.m[b.Name] = i
 		}
+	})
+	if r, ok := benchRanks.m[name]; ok {
+		return r
 	}
 	return 1 << 30
 }

@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/hlir"
 	"repro/internal/sched"
+	"repro/internal/workload"
 )
 
 // subset keeps the grid small for test runtime while covering the three
@@ -289,5 +291,128 @@ func TestSuiteGetMissing(t *testing.T) {
 	s := &Suite{results: map[string]map[string]*Result{}}
 	if s.Get("nothing", core.Config{}) != nil {
 		t.Error("missing cell returned a result")
+	}
+}
+
+// TestSortedBenchesTable1Order asserts subset runs render rows in paper
+// Table 1 order however the subset was spelled, and that names outside
+// the workload sort last without disturbing the rest.
+func TestSortedBenchesTable1Order(t *testing.T) {
+	s := &Suite{Benchmarks: []string{"tomcatv", "ARC2D", "spice2g6", "BDNA"}}
+	got := s.sortedBenches()
+	want := []string{"ARC2D", "BDNA", "spice2g6", "tomcatv"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sortedBenches = %v, want %v", got, want)
+		}
+	}
+	s = &Suite{Benchmarks: []string{"zz-unknown", "tomcatv", "ARC2D"}}
+	got = s.sortedBenches()
+	if got[0] != "ARC2D" || got[1] != "tomcatv" || got[2] != "zz-unknown" {
+		t.Fatalf("unknown benchmark not sorted last: %v", got)
+	}
+}
+
+// TestProgressCountsCells asserts the engine reports monotonically
+// increasing cells-done over the exact cell total, from a single
+// goroutine.
+func TestProgressCountsCells(t *testing.T) {
+	var calls int
+	wantTotal := len(subset) * len(Cells())
+	_, err := RunGrid(subset, Options{
+		Jobs: 4,
+		Progress: func(done, total int, bench, config string) {
+			calls++
+			if total != wantTotal {
+				t.Errorf("total = %d, want %d", total, wantTotal)
+			}
+			if done != calls {
+				t.Errorf("done = %d on call %d; progress not monotonic", done, calls)
+			}
+			if bench == "" || config == "" {
+				t.Errorf("empty progress identifiers %q/%q", bench, config)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != wantTotal {
+		t.Errorf("progress called %d times, want %d", calls, wantTotal)
+	}
+}
+
+// TestJobsOneMatchesParallel asserts worker count cannot change results:
+// the grid is deterministic, so a serial run and a wide run must agree on
+// every metric.
+func TestJobsOneMatchesParallel(t *testing.T) {
+	serial, err := RunGrid([]string{"tomcatv"}, Options{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := RunGrid([]string{"tomcatv"}, Options{Jobs: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range Cells() {
+		a := serial.Get("tomcatv", cfg).Metrics
+		b := wide.Get("tomcatv", cfg).Metrics
+		if a.Cycles != b.Cycles || a.Instrs != b.Instrs || a.LoadInterlock != b.LoadInterlock {
+			t.Errorf("%s: serial %v != parallel %v", cfg.Name(), a, b)
+		}
+	}
+}
+
+// TestResultPhasesRecorded asserts every cell carries phase timings: the
+// phases that always run must be non-zero, and optional phases must be
+// populated exactly when the configuration enables them.
+func TestResultPhasesRecorded(t *testing.T) {
+	s := runSubset(t)
+	profiled := false
+	for _, b := range subset {
+		for _, cfg := range Cells() {
+			ph := s.Get(b, cfg).Phases
+			if ph.Lower <= 0 || ph.Regalloc <= 0 || ph.Sim <= 0 {
+				t.Errorf("%s/%s: missing mandatory phase times: %v", b, cfg.Name(), ph)
+			}
+			if cfg.Trace {
+				if ph.Trace <= 0 {
+					t.Errorf("%s/%s: trace scheduling ran but Trace time is zero", b, cfg.Name())
+				}
+				profiled = profiled || ph.Profile > 0
+			} else if ph.Sched <= 0 {
+				t.Errorf("%s/%s: block scheduling ran but Sched time is zero", b, cfg.Name())
+			}
+		}
+	}
+	// The profile cache shares runs across policies, but each benchmark
+	// must have paid for at least one real profile collection.
+	if !profiled {
+		t.Error("no cell recorded profile-collection time")
+	}
+}
+
+// TestRunAbortsOnFailingCell asserts a failing cell surfaces its error
+// rather than deadlocking the pool or panicking the aggregator.
+func TestRunAbortsOnFailingCell(t *testing.T) {
+	bad := workload.Benchmark{
+		Name:        "broken",
+		Lang:        "fuzz",
+		Description: "program whose reference interpretation fails",
+		Build: func() (*hlir.Program, *core.Data) {
+			p := &hlir.Program{Name: "broken"}
+			a := p.NewArray("A", hlir.KFloat, 4)
+			p.Outputs = []*hlir.Array{a}
+			// Out-of-bounds store: the reference interpreter rejects it.
+			p.Body = []hlir.Stmt{hlir.Set(hlir.At(a, hlir.I(99)), hlir.F(1))}
+			return p, core.NewData()
+		},
+	}
+	ok, err := workload.ByName("tomcatv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunBenchmarks([]workload.Benchmark{ok, bad}, Options{Jobs: 8}); err == nil {
+		t.Fatal("failing benchmark did not fail the run")
 	}
 }

@@ -23,6 +23,10 @@ import (
 //   - E3: selective software prefetching of the predicted-miss loads,
 //     closing the loop on Mowry, Lam and Gupta's original use of the
 //     locality analysis the paper borrows.
+//
+// All three grids execute on the same cell-parallel engine as the main
+// grid (runGrid), so they share its front-end reuse, worker pool,
+// single-writer aggregation and per-cell output-checksum oracle.
 
 // ExtResult is one benchmark's cycles per (policy, width) cell.
 type ExtResult struct {
@@ -32,41 +36,58 @@ type ExtResult struct {
 	Cycles map[string]int64
 }
 
-// RunE1 measures balanced vs traditional scheduling (with unrolling by 4)
-// at issue widths 1, 2 and 4 for the named benchmarks (all when empty).
-func RunE1(names []string) ([]ExtResult, error) {
+// runExt executes specs for the named benchmarks on the engine and
+// collects cycles into one ExtResult per benchmark (in benchmark order),
+// labelled by key.
+func runExt(names []string, specs []cellSpec, key func(cfg core.Config, width int) string, opt Options) ([]ExtResult, error) {
 	benches, err := pick(names)
 	if err != nil {
 		return nil, err
 	}
-	var out []ExtResult
-	for _, b := range benches {
-		p, d := b.Build()
-		r := ExtResult{Bench: b.Name, Cycles: map[string]int64{}}
-		for _, policy := range []sched.Policy{sched.Traditional, sched.Balanced} {
-			cfg := core.Config{Policy: policy, Unroll: 4}
-			c, err := core.Compile(p, cfg, d)
-			if err != nil {
-				return nil, fmt.Errorf("exp: E1 %s %s: %w", b.Name, cfg.Name(), err)
-			}
-			for _, w := range []int{1, 2, 4} {
-				met, _, err := core.ExecuteWidth(c, d, w)
-				if err != nil {
-					return nil, fmt.Errorf("exp: E1 %s %s w%d: %w", b.Name, cfg.Name(), w, err)
-				}
-				r.Cycles[fmt.Sprintf("%s/w%d", cfg.Name(), w)] = met.Cycles
-			}
+	out := make([]ExtResult, len(benches))
+	idx := make(map[string]int, len(benches))
+	for i, b := range benches {
+		out[i] = ExtResult{Bench: b.Name, Cycles: map[string]int64{}}
+		idx[b.Name] = i
+	}
+	err = runGrid(benches, specs, opt, func(r cellResult) {
+		for w, met := range r.mets {
+			out[idx[r.bench]].Cycles[key(r.cfg, w)] = met.Cycles
 		}
-		out = append(out, r)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// widthKey labels extension cells the way the E1/E3 tables index them.
+func widthKey(cfg core.Config, width int) string {
+	return fmt.Sprintf("%s/w%d", cfg.Name(), width)
+}
+
+func extOpt(opt []Options) Options {
+	if len(opt) > 0 {
+		return opt[0]
+	}
+	return Options{}
+}
+
+// RunE1 measures balanced vs traditional scheduling (with unrolling by 4)
+// at issue widths 1, 2 and 4 for the named benchmarks (all when empty).
+func RunE1(names []string, opt ...Options) ([]ExtResult, error) {
+	specs := []cellSpec{
+		{cfg: core.Config{Policy: sched.Traditional, Unroll: 4}, widths: []int{1, 2, 4}},
+		{cfg: core.Config{Policy: sched.Balanced, Unroll: 4}, widths: []int{1, 2, 4}},
+	}
+	return runExt(names, specs, widthKey, extOpt(opt))
 }
 
 // TableE1 renders E1: the BS-over-TS speedup at each issue width. The
 // paper's hypothesis is that wider issue, which needs more ILP, should
 // favour the scheduler that manages ILP explicitly.
-func TableE1(names []string) (*Table, error) {
-	results, err := RunE1(names)
+func TableE1(names []string, opt ...Options) (*Table, error) {
+	results, err := RunE1(names, opt...)
 	if err != nil {
 		return nil, err
 	}
@@ -95,43 +116,17 @@ func TableE1(names []string) (*Table, error) {
 
 // RunE2 measures the four scheduler policies (traditional, balanced,
 // balanced-fixed, auto) with unrolling by 4 on the named benchmarks.
-func RunE2(names []string) ([]ExtResult, error) {
-	benches, err := pick(names)
-	if err != nil {
-		return nil, err
+func RunE2(names []string, opt ...Options) ([]ExtResult, error) {
+	var specs []cellSpec
+	for _, policy := range []sched.Policy{sched.Traditional, sched.Balanced, sched.BalancedFixed, sched.Auto} {
+		specs = append(specs, cellSpec{cfg: core.Config{Policy: policy, Unroll: 4}})
 	}
-	policies := []sched.Policy{sched.Traditional, sched.Balanced, sched.BalancedFixed, sched.Auto}
-	var out []ExtResult
-	for _, b := range benches {
-		p, d := b.Build()
-		want, err := core.Reference(p, d)
-		if err != nil {
-			return nil, err
-		}
-		r := ExtResult{Bench: b.Name, Cycles: map[string]int64{}}
-		for _, policy := range policies {
-			cfg := core.Config{Policy: policy, Unroll: 4}
-			c, err := core.Compile(p, cfg, d)
-			if err != nil {
-				return nil, fmt.Errorf("exp: E2 %s %s: %w", b.Name, cfg.Name(), err)
-			}
-			met, got, err := core.Execute(c, d)
-			if err != nil {
-				return nil, fmt.Errorf("exp: E2 %s %s: %w", b.Name, cfg.Name(), err)
-			}
-			if got != want {
-				return nil, fmt.Errorf("exp: E2 %s %s: wrong output", b.Name, cfg.Name())
-			}
-			r.Cycles[cfg.Name()] = met.Cycles
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return runExt(names, specs, func(cfg core.Config, _ int) string { return cfg.Name() }, extOpt(opt))
 }
 
 // TableE2 renders E2: each policy's speedup over traditional scheduling.
-func TableE2(names []string) (*Table, error) {
-	results, err := RunE2(names)
+func TableE2(names []string, opt ...Options) (*Table, error) {
+	results, err := RunE2(names, opt...)
 	if err != nil {
 		return nil, err
 	}
@@ -179,45 +174,17 @@ func pick(names []string) ([]workload.Benchmark, error) {
 // BS+LA+LU4, at issue widths 1 and 2: on the single-issue machine the
 // hint instructions compete for the only issue slot, so the benefit
 // appears once a second slot exists.
-func RunE3(names []string) ([]ExtResult, error) {
-	benches, err := pick(names)
-	if err != nil {
-		return nil, err
+func RunE3(names []string, opt ...Options) ([]ExtResult, error) {
+	specs := []cellSpec{
+		{cfg: core.Config{Policy: sched.Balanced, Locality: true, Unroll: 4}, widths: []int{1, 2}},
+		{cfg: core.Config{Policy: sched.Balanced, Locality: true, Prefetch: true, Unroll: 4}, widths: []int{1, 2}},
 	}
-	base := core.Config{Policy: sched.Balanced, Locality: true, Unroll: 4}
-	pf := core.Config{Policy: sched.Balanced, Locality: true, Prefetch: true, Unroll: 4}
-	var out []ExtResult
-	for _, b := range benches {
-		p, d := b.Build()
-		want, err := core.Reference(p, d)
-		if err != nil {
-			return nil, err
-		}
-		r := ExtResult{Bench: b.Name, Cycles: map[string]int64{}}
-		for _, cfg := range []core.Config{base, pf} {
-			c, err := core.Compile(p, cfg, d)
-			if err != nil {
-				return nil, fmt.Errorf("exp: E3 %s %s: %w", b.Name, cfg.Name(), err)
-			}
-			for _, w := range []int{1, 2} {
-				met, got, err := core.ExecuteWidth(c, d, w)
-				if err != nil {
-					return nil, fmt.Errorf("exp: E3 %s %s w%d: %w", b.Name, cfg.Name(), w, err)
-				}
-				if got != want {
-					return nil, fmt.Errorf("exp: E3 %s %s: wrong output", b.Name, cfg.Name())
-				}
-				r.Cycles[fmt.Sprintf("%s/w%d", cfg.Name(), w)] = met.Cycles
-			}
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return runExt(names, specs, widthKey, extOpt(opt))
 }
 
 // TableE3 renders E3: the speedup from adding prefetching at each width.
-func TableE3(names []string) (*Table, error) {
-	results, err := RunE3(names)
+func TableE3(names []string, opt ...Options) (*Table, error) {
+	results, err := RunE3(names, opt...)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,109 @@
+package exp
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden tables from the current engine output")
+
+// goldenSubset spans the workload's behaviour archetypes: a stencil that
+// gains from every optimization (tomcatv), an oversized-body program that
+// never unrolls (BDNA) and a sparse, conditional-bound program
+// (spice2g6).
+var goldenSubset = []string{"tomcatv", "BDNA", "spice2g6"}
+
+const goldenPath = "testdata/golden_tables.json"
+
+// goldenTables freezes the summary tables' cells. Values are the rendered
+// cell strings; numeric cells are compared with tolerance so a legitimate
+// last-digit rendering change does not fail, while real metric drift does.
+type goldenTables struct {
+	Table8 [][]string `json:"table8"`
+	Table9 [][]string `json:"table9"`
+}
+
+// TestGoldenTables is the drift alarm for the paper's summary results:
+// it regenerates Tables 8 and 9 on the subset and compares every cell
+// against the committed golden values. A change to the scheduler, the
+// simulator or the optimizations that silently moves the numbers fails
+// here instead of rotting results.txt. Bless intentional changes with
+//
+//	go test ./internal/exp -run TestGoldenTables -update
+func TestGoldenTables(t *testing.T) {
+	s, err := Run(goldenSubset, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := goldenTables{Table8: s.Table8().Rows, Table9: s.Table9().Rows}
+
+	if *update {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("blessed %s", goldenPath)
+		return
+	}
+
+	buf, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	var want goldenTables
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	compareTable(t, "Table8", got.Table8, want.Table8)
+	compareTable(t, "Table9", got.Table9, want.Table9)
+}
+
+func compareTable(t *testing.T, name string, got, want [][]string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, golden has %d", name, len(got), len(want))
+	}
+	for ri := range want {
+		if len(got[ri]) != len(want[ri]) {
+			t.Fatalf("%s row %d: %d cells, golden has %d", name, ri, len(got[ri]), len(want[ri]))
+		}
+		for ci := range want[ri] {
+			g, w := got[ri][ci], want[ri][ci]
+			gv, gok := parseCell(g)
+			wv, wok := parseCell(w)
+			switch {
+			case gok != wok || (!gok && g != w):
+				t.Errorf("%s row %d cell %d: got %q, golden %q", name, ri, ci, g, w)
+			case gok && !withinTolerance(gv, wv):
+				t.Errorf("%s row %d cell %d (%s): got %s, golden %s (drift beyond tolerance)",
+					name, ri, ci, want[ri][0], g, w)
+			}
+		}
+	}
+}
+
+// parseCell extracts a numeric value from a rendered table cell ("1.09",
+// "25.4%", "12345"); non-numeric cells ("n.a.", "----", row labels)
+// report ok=false and are compared verbatim.
+func parseCell(s string) (float64, bool) {
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	return v, err == nil
+}
+
+// withinTolerance allows half a rendering quantum plus 0.5% relative
+// slack: the pipeline is deterministic, so anything larger is real drift.
+func withinTolerance(got, want float64) bool {
+	return math.Abs(got-want) <= 0.02+0.005*math.Abs(want)
+}

@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// CellJSON is the machine-readable form of one grid cell.
+type CellJSON struct {
+	// Bench is the benchmark name (paper Table 1).
+	Bench string `json:"bench"`
+	// Config is the cell's configuration in the tables' notation.
+	Config string `json:"config"`
+	// Metrics are the simulated measurements.
+	Metrics *sim.Metrics `json:"metrics"`
+	// Phases holds per-phase wall-clock in nanoseconds.
+	Phases core.PhaseTimes `json:"phases_ns"`
+}
+
+// SuiteJSON is the machine-readable form of a full grid run.
+type SuiteJSON struct {
+	// Benchmarks lists the run's benchmarks in paper Table 1 order.
+	Benchmarks []string `json:"benchmarks"`
+	// Configs lists the grid's configuration names.
+	Configs []string `json:"configs"`
+	// Cells holds every (benchmark, config) result.
+	Cells []CellJSON `json:"cells"`
+}
+
+// JSON converts the suite into its machine-readable form.
+func (s *Suite) JSON() *SuiteJSON {
+	out := &SuiteJSON{Benchmarks: s.sortedBenches()}
+	for _, cfg := range Cells() {
+		out.Configs = append(out.Configs, cfg.Name())
+	}
+	for _, b := range out.Benchmarks {
+		for _, cfg := range Cells() {
+			r := s.Get(b, cfg)
+			if r == nil {
+				continue
+			}
+			out.Cells = append(out.Cells, CellJSON{
+				Bench:   r.Bench,
+				Config:  r.Config.Name(),
+				Metrics: r.Metrics,
+				Phases:  r.Phases,
+			})
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the suite as indented JSON.
+func (s *Suite) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.JSON())
+}
+
+// WriteExtJSON writes extension-grid results as indented JSON.
+func WriteExtJSON(w io.Writer, results []ExtResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
