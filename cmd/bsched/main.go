@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	bsched [-dump] [-file prog.hlir] <benchmark> [config ...]
+//	bsched [-dump] [-file prog.hlir] [-cpuprofile out.pb.gz] [-memprofile out.pb.gz]
+//	       [-gotrace out.trace] <benchmark> [config ...]
 //
 // Configs are comma-free names like BS, TS, BS+LU4, TS+TrS+LU8,
 // BS+LA+TrS+LU8. With none given, a representative set runs. With -file,
@@ -23,13 +24,34 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/hlir"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
+
+// prof is package-level so exit can stop a running CPU profile before
+// terminating.
+var prof *obs.Profiles
+
+// exit stops any running profiles, then terminates with code.
+func exit(code int) {
+	prof.Stop()
+	os.Exit(code)
+}
 
 func main() {
 	dump := flag.Bool("dump", false, "print the scheduled machine code")
 	file := flag.String("file", "", "run a program parsed from this HLIR source file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit")
+	goTrace := flag.String("gotrace", "", "write a Go execution trace (inspect with go tool trace)")
 	flag.Parse()
+	var err error
+	prof, err = obs.StartProfiles(*cpuProfile, *memProfile, *goTrace)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bsched:", err)
+		os.Exit(1)
+	}
+	defer prof.Stop()
 	args := flag.Args()
 	if *file == "" && len(args) < 1 {
 		fmt.Fprintln(os.Stderr, "usage: bsched [-dump] <benchmark> [config ...]")
@@ -37,7 +59,7 @@ func main() {
 		for _, b := range workload.All() {
 			fmt.Fprintf(os.Stderr, "  %-10s %s\n", b.Name, b.Description)
 		}
-		os.Exit(2)
+		exit(2)
 	}
 	var build func() (*hlir.Program, *core.Data)
 	var title, traits string
@@ -46,12 +68,12 @@ func main() {
 		src, err := os.ReadFile(*file)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bsched:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		prog, err := hlir.Parse(string(src))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bsched:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		title, traits = prog.Name, "user program from "+*file
 		build = func() (*hlir.Program, *core.Data) { return prog.Clone(), core.NewData() }
@@ -59,7 +81,7 @@ func main() {
 		b, err := workload.ByName(args[0])
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bsched:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		title, traits = b.Name+" — "+b.Description, b.Traits
 		build = b.Build
@@ -71,7 +93,7 @@ func main() {
 			cfg, err := core.ParseConfig(s)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "bsched:", err)
-				os.Exit(2)
+				exit(2)
 			}
 			configs = append(configs, cfg)
 		}
@@ -83,7 +105,7 @@ func main() {
 	want, err := core.Reference(p, d)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bsched: reference:", err)
-		os.Exit(1)
+		exit(1)
 	}
 
 	fmt.Println(title)
@@ -94,12 +116,12 @@ func main() {
 		c, err := core.Compile(p, cfg, d)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bsched: %s: %v\n", cfg.Name(), err)
-			os.Exit(1)
+			exit(1)
 		}
 		met, got, err := core.Execute(c, d)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bsched: %s: %v\n", cfg.Name(), err)
-			os.Exit(1)
+			exit(1)
 		}
 		status := ""
 		if got != want {

@@ -8,11 +8,20 @@
 // Usage:
 //
 //	paperbench [-table N] [-bench name,name,...] [-jobs N] [-json] [-v]
+//	           [-tracefile out.json] [-metrics out.txt]
+//	           [-cpuprofile out.pb.gz] [-memprofile out.pb.gz] [-gotrace out.trace]
 //
 // With no flags it prints every table (1-9). -jobs bounds concurrent
-// cells (default GOMAXPROCS); -json emits the raw grid — per-cell metrics
-// and phase timings — instead of rendered tables; -v streams live
-// cells-done/total progress to stderr.
+// cells (default GOMAXPROCS); -json emits the raw grid — per-cell metrics,
+// phase timings and observability counters — instead of rendered tables;
+// -v streams live cells-done/total progress to stderr.
+//
+// Observability: -tracefile records one span per grid cell (with nested
+// compile-phase and simulation spans) on one lane per worker and writes
+// Chrome trace-event JSON renderable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. -metrics dumps the merged compiler/simulator counter
+// registry as Prometheus-style text. -cpuprofile/-memprofile write pprof
+// profiles and -gotrace a Go execution trace of the whole run.
 package main
 
 import (
@@ -23,6 +32,15 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
+)
+
+// prof, tracer and traceFilePath are package-level so fatal can flush a
+// partial trace and stop profiles before exiting.
+var (
+	prof          *obs.Profiles
+	tracer        *obs.Tracer
+	traceFilePath string
 )
 
 func main() {
@@ -30,8 +48,13 @@ func main() {
 	benchList := flag.String("bench", "", "comma-separated benchmark subset (default: all 17)")
 	ext := flag.Bool("ext", false, "also run the extension experiments (E1 superscalar, E2 policies, E3 prefetching)")
 	jobs := flag.Int("jobs", 0, "max concurrently executing grid cells (0 = GOMAXPROCS)")
-	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (per-cell metrics + phase timings) instead of tables")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (per-cell metrics, phase timings + counters) instead of tables")
 	verbose := flag.Bool("v", false, "print live per-cell progress")
+	traceFile := flag.String("tracefile", "", "write a Chrome trace-event JSON timeline of the grid run (Perfetto)")
+	metricsFile := flag.String("metrics", "", "write the merged counter registry as a Prometheus-style text dump")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit")
+	goTrace := flag.String("gotrace", "", "write a Go execution trace (inspect with go tool trace)")
 	flag.Parse()
 
 	var names []string
@@ -39,8 +62,24 @@ func main() {
 		names = strings.Split(*benchList, ",")
 	}
 
+	var err error
+	prof, err = obs.StartProfiles(*cpuProfile, *memProfile, *goTrace)
+	if err != nil {
+		fatal(err)
+	}
+	defer prof.Stop()
+	if *traceFile != "" {
+		tracer = obs.NewTracer()
+		traceFilePath = *traceFile
+	}
+	defer flushTrace()
+
 	start := time.Now()
-	opt := exp.Options{Jobs: *jobs}
+	opt := exp.Options{
+		Jobs:    *jobs,
+		Tracer:  tracer,
+		Observe: *jsonOut || *metricsFile != "",
+	}
 	if *verbose {
 		opt.Progress = func(done, total int, bench, config string) {
 			fmt.Fprintf(os.Stderr, "[%6.1fs] %3d/%d %s %s\n",
@@ -86,6 +125,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "grid complete in %.1fs\n", time.Since(start).Seconds())
 	}
 
+	if *metricsFile != "" {
+		if err := writeMetrics(suite, *metricsFile); err != nil {
+			fatal(err)
+		}
+	}
+
 	if *jsonOut {
 		if err := suite.WriteJSON(os.Stdout); err != nil {
 			fatal(err)
@@ -114,7 +159,46 @@ func main() {
 	}
 }
 
+// writeMetrics dumps the suite's merged observability snapshot in the
+// Prometheus text exposition format.
+func writeMetrics(suite *exp.Suite, path string) error {
+	snap := suite.MergedObs()
+	if snap == nil {
+		return fmt.Errorf("no counters collected (internal error: -metrics should enable observation)")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WritePrometheus(f, "paperbench_"); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// flushTrace writes the Chrome trace once; on a fatal exit a partial
+// trace of the completed cells still lands on disk.
+func flushTrace() {
+	if tracer == nil || traceFilePath == "" {
+		return
+	}
+	f, err := os.Create(traceFilePath)
+	if err == nil {
+		err = tracer.Write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench: writing trace:", err)
+	}
+	tracer = nil
+}
+
 func fatal(err error) {
+	flushTrace()
+	prof.Stop()
 	fmt.Fprintln(os.Stderr, "paperbench:", err)
 	os.Exit(1)
 }

@@ -24,6 +24,7 @@ import (
 	"repro/internal/licm"
 	"repro/internal/locality"
 	"repro/internal/lower"
+	"repro/internal/obs"
 	"repro/internal/prefetch"
 	"repro/internal/profile"
 	"repro/internal/regalloc"
@@ -132,7 +133,7 @@ type Compiled struct {
 // shared read-only across any number of concurrent Compile calls. The
 // cell-parallel experiment engine (internal/exp) depends on this.
 func Compile(p *hlir.Program, cfg Config, data *Data) (*Compiled, error) {
-	return CompileCached(p, cfg, data, nil)
+	return CompileObserved(p, cfg, data, nil, nil)
 }
 
 // CompileCached is Compile with an optional profile cache: when profiles
@@ -142,42 +143,75 @@ func Compile(p *hlir.Program, cfg Config, data *Data) (*Compiled, error) {
 // differing solely in scheduler policy share one profiling run. The cache
 // must be dedicated to this (p, data) pair.
 func CompileCached(p *hlir.Program, cfg Config, data *Data, profiles *ProfileCache) (*Compiled, error) {
+	return CompileObserved(p, cfg, data, profiles, nil)
+}
+
+// CompileObserved is CompileCached with observability: every phase runs
+// under a trace span on ob's lane (also accumulated into out.Phases), and
+// the phases record their counters into ob's registry. A nil ob — or nil
+// tracer/stats inside it — disables the corresponding instrument for free,
+// so this is the only pipeline body; Compile and CompileCached delegate
+// here.
+func CompileObserved(p *hlir.Program, cfg Config, data *Data, profiles *ProfileCache, ob *obs.Obs) (*Compiled, error) {
+	st := ob.Stat()
 	prog := p
 	out := &Compiled{Config: cfg}
-	mark := time.Now()
-	lap := func(d *time.Duration) {
-		now := time.Now()
-		*d += now.Sub(mark)
-		mark = now
+	// phase wraps one pipeline phase in a trace span while accumulating
+	// its wall-clock into the PhaseTimes slot d.
+	phase := func(name string, d *time.Duration, f func() error) error {
+		sp := ob.Begin(name, "compile")
+		start := time.Now()
+		err := f()
+		*d += time.Since(start)
+		sp.End()
+		return err
 	}
 	if cfg.Locality {
-		prog, out.Locality = locality.Apply(prog, cfg.Unroll)
-		lap(&out.Phases.Locality)
+		phase("locality", &out.Phases.Locality, func() error {
+			prog, out.Locality = locality.Apply(prog, cfg.Unroll)
+			return nil
+		})
+		st.Add("locality/loops_analyzed", int64(out.Locality.LoopsAnalyzed))
+		st.Add("locality/miss_marks", int64(out.Locality.Misses))
+		st.Add("locality/hit_marks", int64(out.Locality.Hits))
 	}
 	if cfg.Unroll > 0 {
 		// After locality analysis, reuse loops carry NoUnroll and keep
 		// their hit/miss marks; the general unroller handles the rest.
-		prog = unroll.Apply(prog, cfg.Unroll)
-		lap(&out.Phases.Unroll)
+		phase("unroll", &out.Phases.Unroll, func() error {
+			prog = unroll.ApplyObserved(prog, cfg.Unroll, st)
+			return nil
+		})
 	}
 	if cfg.Prefetch {
-		prog, out.Prefetches = prefetch.Apply(prog)
+		phase("prefetch", &out.Phases.Prefetch, func() error {
+			prog, out.Prefetches = prefetch.Apply(prog)
+			return nil
+		})
+		st.Add("prefetch/hints", int64(out.Prefetches))
 	}
 	if prog == p {
 		prog = p.Clone()
 	}
-	mark = time.Now()
-	res, err := lower.Lower(prog)
-	if err != nil {
+	var res *lower.Result
+	if err := phase("lower", &out.Phases.Lower, func() error {
+		r, err := lower.Lower(prog)
+		res = r
+		return err
+	}); err != nil {
 		return nil, err
 	}
 	out.Fn = res.Fn
 	out.ArrayID = res.ArrayID
 	out.Program = prog
 	if cfg.LICM {
-		out.LICM = licm.Apply(res.Fn)
+		phase("licm", &out.Phases.LICM, func() error {
+			out.LICM = licm.Apply(res.Fn)
+			return nil
+		})
+		st.Add("licm/loops", int64(out.LICM.Loops))
+		st.Add("licm/hoisted", int64(out.LICM.Hoisted))
 	}
-	lap(&out.Phases.Lower)
 
 	if cfg.Trace {
 		var edges profile.Edges
@@ -185,8 +219,12 @@ func CompileCached(p *hlir.Program, cfg Config, data *Data, profiles *ProfileCac
 			edges = profiles.get(cfg)
 		}
 		if edges == nil {
-			edges, err = profile.Collect(res.Fn, func(m *sim.Machine) {
-				InitMachine(m, res.ArrayID, data)
+			err := phase("profile", &out.Phases.Profile, func() error {
+				e, err := profile.Collect(res.Fn, func(m *sim.Machine) {
+					InitMachine(m, res.ArrayID, data)
+				})
+				edges = e
+				return err
 			})
 			if err != nil {
 				return nil, fmt.Errorf("core: profiling %s: %w", p.Name, err)
@@ -194,35 +232,43 @@ func CompileCached(p *hlir.Program, cfg Config, data *Data, profiles *ProfileCac
 			if profiles != nil {
 				profiles.put(cfg, edges)
 			}
-			lap(&out.Phases.Profile)
 		} else {
 			// Cache hit: the counts are for an identical CFG; only the
 			// per-block frequency annotation must be redone on this clone.
 			profile.Annotate(res.Fn, edges)
-			mark = time.Now()
+			st.Inc("core/profile_cache_hits")
 		}
-		rep, err := trace.ScheduleAll(res.Fn, edges, cfg.Policy)
+		err := phase("trace", &out.Phases.Trace, func() error {
+			rep, err := trace.ScheduleAllObserved(res.Fn, edges, cfg.Policy, st)
+			out.Trace = rep
+			return err
+		})
 		if err != nil {
 			return nil, fmt.Errorf("core: trace scheduling %s: %w", p.Name, err)
 		}
-		out.Trace = rep
-		lap(&out.Phases.Trace)
+		st.Add("trace/traces", int64(out.Trace.Traces))
+		st.Add("trace/comp_copies", int64(out.Trace.CompCopies))
+		st.Add("trace/speculated", int64(out.Trace.Speculated))
 	} else {
-		for _, b := range res.Fn.Blocks {
-			trace.ScheduleBlock(res.Fn, b, cfg.Policy)
-		}
-		if err := res.Fn.Validate(); err != nil {
+		err := phase("sched", &out.Phases.Sched, func() error {
+			for _, b := range res.Fn.Blocks {
+				trace.ScheduleBlockObserved(res.Fn, b, cfg.Policy, st)
+			}
+			return res.Fn.Validate()
+		})
+		if err != nil {
 			return nil, fmt.Errorf("core: block scheduling %s: %w", p.Name, err)
 		}
-		lap(&out.Phases.Sched)
 	}
 
-	alloc, err := regalloc.Allocate(res.Fn)
+	err := phase("regalloc", &out.Phases.Regalloc, func() error {
+		alloc, err := regalloc.AllocateObserved(res.Fn, st)
+		out.Alloc = alloc
+		return err
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: allocating %s: %w", p.Name, err)
 	}
-	out.Alloc = alloc
-	lap(&out.Phases.Regalloc)
 	return out, nil
 }
 

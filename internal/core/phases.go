@@ -18,8 +18,12 @@ type PhaseTimes struct {
 	Locality time.Duration `json:"locality"`
 	// Unroll is time in loop unrolling (including postconditioning).
 	Unroll time.Duration `json:"unroll"`
+	// Prefetch is time inserting software-prefetch hints (extension E3).
+	Prefetch time.Duration `json:"prefetch"`
 	// Lower is time lowering HLIR to the Alpha-like IR.
 	Lower time.Duration `json:"lower"`
+	// LICM is time in loop-invariant code motion (opt-in pass).
+	LICM time.Duration `json:"licm"`
 	// Profile is time collecting the execution-driven edge profile (trace
 	// scheduling only; zero when the profile came from a ProfileCache).
 	Profile time.Duration `json:"profile"`
@@ -36,15 +40,17 @@ type PhaseTimes struct {
 
 // Total sums all recorded phases.
 func (t PhaseTimes) Total() time.Duration {
-	return t.Locality + t.Unroll + t.Lower + t.Profile + t.Trace +
-		t.Sched + t.Regalloc + t.Sim
+	return t.Locality + t.Unroll + t.Prefetch + t.Lower + t.LICM +
+		t.Profile + t.Trace + t.Sched + t.Regalloc + t.Sim
 }
 
 // Add accumulates o into t (for aggregating across cells).
 func (t *PhaseTimes) Add(o PhaseTimes) {
 	t.Locality += o.Locality
 	t.Unroll += o.Unroll
+	t.Prefetch += o.Prefetch
 	t.Lower += o.Lower
+	t.LICM += o.LICM
 	t.Profile += o.Profile
 	t.Trace += o.Trace
 	t.Sched += o.Sched
@@ -53,8 +59,8 @@ func (t *PhaseTimes) Add(o PhaseTimes) {
 }
 
 func (t PhaseTimes) String() string {
-	return fmt.Sprintf("locality=%v unroll=%v lower=%v profile=%v trace=%v sched=%v regalloc=%v sim=%v",
-		t.Locality, t.Unroll, t.Lower, t.Profile, t.Trace, t.Sched, t.Regalloc, t.Sim)
+	return fmt.Sprintf("locality=%v unroll=%v prefetch=%v lower=%v licm=%v profile=%v trace=%v sched=%v regalloc=%v sim=%v",
+		t.Locality, t.Unroll, t.Prefetch, t.Lower, t.LICM, t.Profile, t.Trace, t.Sched, t.Regalloc, t.Sim)
 }
 
 // ProfileCache memoizes execution-driven edge profiles across the

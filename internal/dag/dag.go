@@ -9,6 +9,7 @@ package dag
 
 import (
 	"repro/internal/ir"
+	"repro/internal/obs"
 )
 
 // Node is one instruction in the DAG.
@@ -32,8 +33,14 @@ type Graph struct {
 	// Nodes holds the region's instructions in original order.
 	Nodes []*Node
 
-	edge map[[2]int]bool
+	edge  map[[2]int]bool
+	stats *obs.Stats
 }
+
+// Stats returns the observability registry the graph was built with (nil
+// when observability is off); the scheduler records its selection
+// behaviour there so callers thread one registry through build + schedule.
+func (g *Graph) Stats() *obs.Stats { return g.stats }
 
 // addEdge inserts a dependence from a to b (a must precede b), ignoring
 // self-edges and duplicates.
@@ -77,11 +84,15 @@ type Options struct {
 	// instructions may still move above the label, paid for with
 	// compensation code on the joining edges).
 	Joins []int
+	// Stats, when non-nil, receives the builder's counters (region/node/
+	// edge counts, memory-disambiguation outcomes, locality arcs) and is
+	// exposed to the scheduler via Graph.Stats.
+	Stats *obs.Stats
 }
 
 // Build constructs the dependence DAG for the instruction sequence instrs.
 func Build(instrs []*ir.Instr, opts Options) *Graph {
-	g := &Graph{edge: make(map[[2]int]bool)}
+	g := &Graph{edge: make(map[[2]int]bool), stats: opts.Stats}
 	g.Nodes = make([]*Node, len(instrs))
 	for i, in := range instrs {
 		g.Nodes[i] = &Node{Index: i, Instr: in}
@@ -91,6 +102,11 @@ func Build(instrs []*ir.Instr, opts Options) *Graph {
 	g.addMemoryEdges()
 	g.addLocalityEdges()
 	g.addControlEdges(opts)
+
+	g.stats.Inc("dag/regions")
+	g.stats.Add("dag/nodes", int64(len(g.Nodes)))
+	g.stats.Add("dag/edges", int64(len(g.edge)))
+	g.stats.Observe("dag/region_size", int64(len(g.Nodes)))
 	return g
 }
 
@@ -138,7 +154,10 @@ func (g *Graph) addMemoryEdges() {
 				continue // loads commute
 			}
 			if a.Instr.Mem.Conflicts(b.Instr.Mem) {
+				g.stats.Inc("dag/mem_conflicts")
 				g.addEdge(a, b)
+			} else {
+				g.stats.Inc("dag/mem_disjoint")
 			}
 		}
 	}
@@ -161,6 +180,7 @@ func (g *Graph) addLocalityEdges() {
 			}
 			for _, hit := range ns {
 				if hit.Instr.Hint == ir.HintHit && hit.Index > miss.Index {
+					g.stats.Inc("dag/locality_edges")
 					g.addEdge(miss, hit)
 				}
 			}

@@ -3,12 +3,14 @@ package exp
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/hlir"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -34,6 +36,15 @@ type Options struct {
 	// finished cell's benchmark and configuration names. It is invoked
 	// from a single goroutine and needs no locking.
 	Progress func(done, total int, bench, config string)
+	// Tracer, when non-nil, records one span per cell (with nested
+	// compile-phase and simulation spans) on a lane per worker, for
+	// Chrome-trace export (internal/obs).
+	Tracer *obs.Tracer
+	// Observe enables the per-cell counter registry: each cell collects
+	// compiler counters (dag/sched/regalloc/unroll/...), simulator
+	// metrics and runtime allocation deltas into an obs.Snapshot stored
+	// on its Result.
+	Observe bool
 }
 
 func (o Options) jobs() int {
@@ -57,6 +68,7 @@ type cellResult struct {
 	mets   map[int]*sim.Metrics // by issue width
 	static *core.Compiled
 	phases core.PhaseTimes
+	snap   *obs.Snapshot // nil unless Options.Observe
 }
 
 // frontEnd lazily builds one benchmark's shared state: the program, its
@@ -73,8 +85,12 @@ type frontEnd struct {
 	err      error
 }
 
-func (f *frontEnd) get() (*hlir.Program, *core.Data, uint64, *core.ProfileCache, error) {
+// get builds the front-end on first call (under a "frontend" span on the
+// calling worker's lane, since that worker pays the cost).
+func (f *frontEnd) get(ob *obs.Obs) (*hlir.Program, *core.Data, uint64, *core.ProfileCache, error) {
 	f.once.Do(func() {
+		sp := ob.Begin("frontend", "exp").Arg("bench", f.b.Name)
+		defer sp.End()
 		f.p, f.d = f.b.Build()
 		f.profiles = core.NewProfileCache()
 		f.want, f.err = core.Reference(f.p, f.d)
@@ -86,13 +102,26 @@ func (f *frontEnd) get() (*hlir.Program, *core.Data, uint64, *core.ProfileCache,
 }
 
 // runCell compiles and simulates one cell, enforcing the output-checksum
-// oracle at every width.
-func runCell(fe *frontEnd, spec cellSpec) (*cellResult, error) {
-	p, d, want, profiles, err := fe.get()
+// oracle at every width. When ob carries a tracer, the whole cell runs
+// under a "cell" span on the worker's lane with nested compile-phase and
+// per-width "sim" spans; when it carries a stats registry, the cell's
+// compiler counters, simulator metrics (width 1) and runtime allocation
+// deltas are snapshotted into the result.
+func runCell(fe *frontEnd, spec cellSpec, ob *obs.Obs) (*cellResult, error) {
+	p, d, want, profiles, err := fe.get(ob)
 	if err != nil {
 		return nil, err
 	}
-	c, err := core.CompileCached(p, spec.cfg, d, profiles)
+	cellSpan := ob.Begin("cell", "exp").
+		Arg("bench", fe.b.Name).Arg("config", spec.cfg.Name())
+	defer cellSpan.End()
+
+	st := ob.Stat()
+	var mem0 runtime.MemStats
+	if st != nil {
+		runtime.ReadMemStats(&mem0)
+	}
+	c, err := core.CompileObserved(p, spec.cfg, d, profiles, ob)
 	if err != nil {
 		return nil, fmt.Errorf("exp: %s %s: %w", fe.b.Name, spec.cfg.Name(), err)
 	}
@@ -108,9 +137,11 @@ func runCell(fe *frontEnd, spec cellSpec) (*cellResult, error) {
 		phases: c.Phases,
 	}
 	for _, w := range widths {
+		simSpan := ob.Begin("sim", "sim").Arg("width", strconv.Itoa(w))
 		start := time.Now()
 		met, got, err := core.ExecuteWidth(c, d, w)
 		out.phases.Sim += time.Since(start)
+		simSpan.End()
 		if err != nil {
 			return nil, fmt.Errorf("exp: %s %s w%d: %w", fe.b.Name, spec.cfg.Name(), w, err)
 		}
@@ -119,6 +150,20 @@ func runCell(fe *frontEnd, spec cellSpec) (*cellResult, error) {
 				fe.b.Name, spec.cfg.Name(), w, got, want)
 		}
 		out.mets[w] = met
+		if w == 1 && st != nil {
+			met.Each(func(name string, v int64) { st.Add("sim/"+name, v) })
+		}
+	}
+	if st != nil {
+		// Allocation delta across the cell. With parallel workers the
+		// runtime stats are process-global, so concurrent cells bleed into
+		// each other's deltas; they are an attribution estimate, exact
+		// only at -jobs 1.
+		var mem1 runtime.MemStats
+		runtime.ReadMemStats(&mem1)
+		st.Add("runtime/alloc_bytes", int64(mem1.TotalAlloc-mem0.TotalAlloc))
+		st.Add("runtime/mallocs", int64(mem1.Mallocs-mem0.Mallocs))
+		out.snap = st.Snapshot()
 	}
 	return out, nil
 }
@@ -166,20 +211,28 @@ func runGrid(benches []workload.Benchmark, specs []cellSpec, opt Options, emit f
 	var wg sync.WaitGroup
 	for w := 0; w < opt.jobs(); w++ {
 		wg.Add(1)
-		go func() {
+		opt.Tracer.NameLane(w, fmt.Sprintf("worker %d", w))
+		go func(lane int) {
 			defer wg.Done()
 			for t := range tasks {
 				if aborted.Load() {
 					continue
 				}
-				r, err := runCell(t.fe, t.spec)
+				// One Obs per cell: the stats registry is single-goroutine
+				// by design, so each cell gets a fresh one; the tracer is
+				// shared and the lane identifies this worker.
+				ob := &obs.Obs{Tracer: opt.Tracer, Lane: lane}
+				if opt.Observe {
+					ob.Stats = obs.NewStats()
+				}
+				r, err := runCell(t.fe, t.spec, ob)
 				if err != nil {
 					fail(err)
 					continue
 				}
 				results <- r
 			}
-		}()
+		}(w)
 	}
 	go func() {
 		wg.Wait()
@@ -230,6 +283,7 @@ func RunBenchmarks(benches []workload.Benchmark, opt Options) (*Suite, error) {
 			Metrics: r.mets[1],
 			Static:  r.static,
 			Phases:  r.phases,
+			Obs:     r.snap,
 		}
 	})
 	if err != nil {

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -64,6 +65,10 @@ type Result struct {
 	// Phases records the cell's wall-clock per pipeline phase, including
 	// simulation.
 	Phases core.PhaseTimes
+	// Obs is the cell's observability snapshot — compiler counters,
+	// simulator metrics and runtime allocation deltas — when the grid ran
+	// with Options.Observe; nil otherwise.
+	Obs *obs.Snapshot
 }
 
 // Suite holds a full grid of results. It is filled by a single aggregator
@@ -78,6 +83,26 @@ type Suite struct {
 // Get returns the result for (bench, cfg), or nil.
 func (s *Suite) Get(bench string, cfg core.Config) *Result {
 	return s.results[bench][cfg.Name()]
+}
+
+// MergedObs merges every cell's observability snapshot into one
+// suite-level snapshot (counters summed, histograms widened), the value
+// behind paperbench's -metrics dump. Nil when no cell carried a snapshot
+// (the grid ran without Options.Observe).
+func (s *Suite) MergedObs() *obs.Snapshot {
+	var merged *obs.Snapshot
+	for _, byCfg := range s.results {
+		for _, r := range byCfg {
+			if r.Obs == nil {
+				continue
+			}
+			if merged == nil {
+				merged = &obs.Snapshot{}
+			}
+			merged.Merge(r.Obs)
+		}
+	}
+	return merged
 }
 
 // metrics is a convenience accessor that panics on a missing cell —

@@ -33,7 +33,8 @@ type goldenTables struct {
 // it regenerates Tables 8 and 9 on the subset and compares every cell
 // against the committed golden values. A change to the scheduler, the
 // simulator or the optimizations that silently moves the numbers fails
-// here instead of rotting results.txt. Bless intentional changes with
+// here instead of rotting in a stale results snapshot. Bless intentional
+// changes with
 //
 //	go test ./internal/exp -run TestGoldenTables -update
 func TestGoldenTables(t *testing.T) {

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -18,6 +19,10 @@ type CellJSON struct {
 	Metrics *sim.Metrics `json:"metrics"`
 	// Phases holds per-phase wall-clock in nanoseconds.
 	Phases core.PhaseTimes `json:"phases_ns"`
+	// Obs is the cell's observability snapshot (compiler counters,
+	// "sim/"-prefixed simulator metrics, runtime allocation deltas);
+	// omitted when the run did not observe.
+	Obs *obs.Snapshot `json:"obs,omitempty"`
 }
 
 // SuiteJSON is the machine-readable form of a full grid run.
@@ -47,6 +52,7 @@ func (s *Suite) JSON() *SuiteJSON {
 				Config:  r.Config.Name(),
 				Metrics: r.Metrics,
 				Phases:  r.Phases,
+				Obs:     r.Obs,
 			})
 		}
 	}

@@ -1,0 +1,236 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// obsBench is the single benchmark the observability tests grid over; the
+// full 16-configuration column keeps every phase (trace scheduling,
+// locality, unrolling) in play.
+const obsBench = "tomcatv"
+
+// observedRun runs the grid once with tracing and counters on; the result
+// is shared across this file's tests.
+var observedRun struct {
+	once sync.Once
+	s    *Suite
+	tr   *obs.Tracer
+	err  error
+}
+
+func observedSuite(t *testing.T) (*Suite, *obs.Tracer) {
+	t.Helper()
+	observedRun.once.Do(func() {
+		observedRun.tr = obs.NewTracer()
+		observedRun.s, observedRun.err = RunGrid([]string{obsBench},
+			Options{Jobs: 2, Tracer: observedRun.tr, Observe: true})
+	})
+	if observedRun.err != nil {
+		t.Fatal(observedRun.err)
+	}
+	return observedRun.s, observedRun.tr
+}
+
+// TestGridObservedCounters asserts the tentpole's counter coverage: every
+// cell carries a snapshot, and across the grid the compiler-side packages
+// (dag, sched, regalloc, unroll, trace, locality, ...) register at least
+// 12 distinct counters/histograms, unified with the simulator's metrics
+// under "sim/" and the runtime allocation deltas under "runtime/".
+func TestGridObservedCounters(t *testing.T) {
+	s, _ := observedSuite(t)
+	compiler := map[string]bool{}
+	for _, cfg := range Cells() {
+		r := s.Get(obsBench, cfg)
+		if r == nil || r.Obs == nil {
+			t.Fatalf("cell %s has no observability snapshot", cfg.Name())
+		}
+		if r.Obs.Counters["sim/cycles"] == 0 {
+			t.Errorf("cell %s: sim metrics not folded into snapshot", cfg.Name())
+		}
+		if r.Obs.Counters["runtime/alloc_bytes"] <= 0 {
+			t.Errorf("cell %s: missing runtime allocation delta", cfg.Name())
+		}
+		for name := range r.Obs.Counters {
+			if !strings.HasPrefix(name, "sim/") && !strings.HasPrefix(name, "runtime/") {
+				compiler[name] = true
+			}
+		}
+		for name := range r.Obs.Hists {
+			compiler[name] = true
+		}
+	}
+	if len(compiler) < 12 {
+		names := make([]string, 0, len(compiler))
+		for n := range compiler {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		t.Errorf("only %d distinct compiler-side counters/histograms, want >= 12: %v",
+			len(compiler), names)
+	}
+	for _, want := range []string{"dag/nodes", "sched/pick_by_priority", "regalloc/intervals"} {
+		if !compiler[want] {
+			t.Errorf("expected counter %q missing from every cell", want)
+		}
+	}
+	merged := s.MergedObs()
+	if merged == nil {
+		t.Fatal("MergedObs returned nil for an observed run")
+	}
+	var buf bytes.Buffer
+	if err := merged.WritePrometheus(&buf, "paperbench_"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "paperbench_dag_nodes") {
+		t.Errorf("prometheus dump missing dag counters:\n%.400s", buf.String())
+	}
+}
+
+// TestGridTraceExport validates the Chrome trace the engine produced:
+// parseable, properly nested per lane, one "cell" span per grid cell with
+// nested compile-phase and sim spans.
+func TestGridTraceExport(t *testing.T) {
+	_, tr := observedSuite(t)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := obs.ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("grid trace fails validation: %v", err)
+	}
+	cells := len(Cells())
+	if sum.Names["cell"] != cells {
+		t.Errorf("trace has %d cell spans, want %d", sum.Names["cell"], cells)
+	}
+	if sum.Names["sim"] < cells {
+		t.Errorf("trace has %d sim spans, want >= %d", sum.Names["sim"], cells)
+	}
+	if sum.Names["frontend"] != 1 {
+		t.Errorf("trace has %d frontend spans, want 1", sum.Names["frontend"])
+	}
+	for _, phase := range []string{"lower", "regalloc", "sched", "trace", "unroll", "locality"} {
+		if sum.Names[phase] == 0 {
+			t.Errorf("no %q phase spans in the grid trace", phase)
+		}
+	}
+	if sum.Lanes < 1 || sum.Lanes > 2 {
+		t.Errorf("spans landed on %d lanes, want 1-2 for -jobs 2", sum.Lanes)
+	}
+}
+
+// TestObservabilityPreservesTables is the acceptance criterion that
+// instrumentation cannot move the science: the paper tables rendered from
+// an observed run are byte-identical to an unobserved one.
+func TestObservabilityPreservesTables(t *testing.T) {
+	observed, _ := observedSuite(t)
+	plain, err := RunGrid([]string{obsBench}, Options{Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Table8().Rows, observed.Table8().Rows) {
+		t.Errorf("Table 8 differs between observed and plain runs:\nplain: %v\nobserved: %v",
+			plain.Table8().Rows, observed.Table8().Rows)
+	}
+	if !reflect.DeepEqual(plain.Table9().Rows, observed.Table9().Rows) {
+		t.Errorf("Table 9 differs between observed and plain runs:\nplain: %v\nobserved: %v",
+			plain.Table9().Rows, observed.Table9().Rows)
+	}
+}
+
+const schemaPath = "testdata/json_schema.txt"
+
+// TestSuiteJSONSchema freezes the -json output schema: the sorted union
+// of key paths in the serialized suite (array indices collapsed to []).
+// A field added to or dropped from CellJSON, sim.Metrics, PhaseTimes or
+// obs.Snapshot fails here until blessed with
+//
+//	go test ./internal/exp -run TestSuiteJSONSchema -update
+func TestSuiteJSONSchema(t *testing.T) {
+	s, _ := observedSuite(t)
+	raw, err := json.Marshal(s.JSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatal(err)
+	}
+	set := map[string]bool{}
+	collectPaths("", v, set)
+	got := make([]string, 0, len(set))
+	for p := range set {
+		got = append(got, p)
+	}
+	sort.Strings(got)
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(schemaPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(schemaPath, []byte(strings.Join(got, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("blessed %s (%d paths)", schemaPath, len(got))
+		return
+	}
+
+	buf, err := os.ReadFile(schemaPath)
+	if err != nil {
+		t.Fatalf("missing schema file (regenerate with -update): %v", err)
+	}
+	want := strings.Fields(string(buf))
+	wantSet := map[string]bool{}
+	for _, p := range want {
+		wantSet[p] = true
+	}
+	for _, p := range got {
+		if !wantSet[p] {
+			t.Errorf("new JSON key path %q not in schema (bless with -update)", p)
+		}
+	}
+	for _, p := range want {
+		if !set[p] {
+			t.Errorf("JSON key path %q vanished from the output (bless with -update)", p)
+		}
+	}
+}
+
+// collectPaths records every key path in a decoded JSON value; array
+// elements are unioned under a collapsed "[]" segment.
+func collectPaths(prefix string, v any, set map[string]bool) {
+	switch v := v.(type) {
+	case map[string]any:
+		for k, child := range v {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			set[p] = true
+			collectPaths(p, child, set)
+		}
+	case []any:
+		for _, child := range v {
+			collectPaths(prefix+"[]", child, set)
+		}
+	}
+}
+
+// init-time guard: the obs bench must exist in the workload, or every
+// test above silently degrades to an empty grid.
+func init() {
+	if _, err := pick([]string{obsBench}); err != nil {
+		panic(fmt.Sprintf("obs_test: %v", err))
+	}
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Profiles manages the runtime profiling outputs a command-line harness
+// exposes as flags: a pprof CPU profile, a heap profile written at stop,
+// and a Go execution trace. Start with StartProfiles, defer Stop.
+type Profiles struct {
+	cpuFile   *os.File
+	traceFile *os.File
+	memPath   string
+}
+
+// StartProfiles begins the requested profiles; empty paths disable the
+// corresponding output. On error everything already started is stopped.
+func StartProfiles(cpuPath, memPath, tracePath string) (*Profiles, error) {
+	p := &Profiles{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			p.Stop()
+			return nil, err
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			p.Stop()
+			return nil, fmt.Errorf("obs: execution trace: %w", err)
+		}
+		p.traceFile = f
+	}
+	return p, nil
+}
+
+// Stop ends the running profiles and writes the heap profile, if
+// requested. Safe on a nil receiver and idempotent.
+func (p *Profiles) Stop() error {
+	if p == nil {
+		return nil
+	}
+	var first error
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil && first == nil {
+			first = err
+		}
+		p.cpuFile = nil
+	}
+	if p.traceFile != nil {
+		trace.Stop()
+		if err := p.traceFile.Close(); err != nil && first == nil {
+			first = err
+		}
+		p.traceFile = nil
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+		} else {
+			runtime.GC() // up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = fmt.Errorf("obs: heap profile: %w", err)
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		p.memPath = ""
+	}
+	return first
+}

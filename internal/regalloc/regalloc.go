@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/liveness"
+	"repro/internal/obs"
 )
 
 // Physical register numbering after allocation: integer registers occupy
@@ -64,12 +65,23 @@ type interval struct {
 // code as needed, and returns a report. The function must not already be
 // allocated.
 func Allocate(fn *ir.Func) (*Report, error) {
+	return AllocateObserved(fn, nil)
+}
+
+// AllocateObserved is Allocate recording allocator counters (interval
+// count, per-bank peak pressure, spill traffic) into st. A nil st is free.
+func AllocateObserved(fn *ir.Func, st *obs.Stats) (*Report, error) {
 	if fn.Allocated {
 		return nil, fmt.Errorf("regalloc: %s already allocated", fn.Name)
 	}
 	rep := &Report{}
 
 	intervals := buildIntervals(fn)
+	if st != nil {
+		st.Add("regalloc/intervals", int64(len(intervals)))
+		st.Observe("regalloc/peak_int_pressure", peakPressure(intervals, ir.RegInt))
+		st.Observe("regalloc/peak_fp_pressure", peakPressure(intervals, ir.RegFP))
+	}
 	sort.Slice(intervals, func(a, b int) bool {
 		if intervals[a].start != intervals[b].start {
 			return intervals[a].start < intervals[b].start
@@ -185,7 +197,38 @@ func Allocate(fn *ir.Func) (*Report, error) {
 		fn.RegClass[r] = ir.RegFP
 	}
 	fn.Allocated = true
+	st.Add("regalloc/spilled_vregs", int64(rep.Spilled))
+	st.Add("regalloc/spill_stores", int64(rep.Spills))
+	st.Add("regalloc/spill_restores", int64(rep.Restores))
+	st.Add("regalloc/slot_bytes", rep.SlotBytes)
 	return rep, fn.Validate()
+}
+
+// peakPressure is the maximum number of simultaneously live intervals of
+// one register class — what the bank would need to avoid all spilling.
+func peakPressure(ivs []interval, cls ir.RegClass) int64 {
+	type event struct{ pos, delta int }
+	var evs []event
+	for i := range ivs {
+		if ivs[i].cls != cls {
+			continue
+		}
+		evs = append(evs, event{ivs[i].start, +1}, event{ivs[i].end, -1})
+	}
+	sort.Slice(evs, func(a, b int) bool {
+		if evs[a].pos != evs[b].pos {
+			return evs[a].pos < evs[b].pos
+		}
+		return evs[a].delta < evs[b].delta // expire before allocate at a tie
+	})
+	var cur, peak int64
+	for _, e := range evs {
+		cur += int64(e.delta)
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
 }
 
 // freeList builds the allocatable register pool for one bank, ordered so

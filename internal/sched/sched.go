@@ -12,6 +12,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // Policy selects a load-weight algorithm.
@@ -61,14 +62,30 @@ func AssignWeights(g *dag.Graph, p Policy) {
 	for _, n := range g.Nodes {
 		n.Weight = machine.Latency(n.Instr.Op)
 	}
+	balanced := false
 	switch p {
 	case Balanced:
+		balanced = true
 		balanceLoads(g, false)
 	case BalancedFixed:
+		balanced = true
 		balanceLoads(g, true)
 	case Auto:
 		if preferBalanced(g) {
+			balanced = true
 			balanceLoads(g, false)
+			g.Stats().Inc("sched/auto_balanced_regions")
+		} else {
+			g.Stats().Inc("sched/auto_traditional_regions")
+		}
+	}
+	if st := g.Stats(); st != nil && balanced {
+		// The balanced-weight distribution: what the Kerns-Eggers
+		// computation actually assigned to the loads it balanced.
+		for _, l := range g.Loads() {
+			if l.Instr.Hint != ir.HintHit {
+				st.Observe("sched/load_weight", int64(l.Weight))
+			}
 		}
 	}
 	g.ComputePriorities()
@@ -134,8 +151,10 @@ func Schedule(g *dag.Graph, regClass []ir.RegClass) []*ir.Instr {
 		}
 	}
 	press := newPressure(g, regClass)
+	st := g.Stats()
 	var cycle int64
 	for len(order) < n {
+		st.Observe("sched/ready_len", int64(len(avail)))
 		// Pick the best data-ready instruction, in two tiers when a bank
 		// is under pressure: instructions that do not grow the pressured
 		// bank first.
@@ -144,16 +163,19 @@ func Schedule(g *dag.Graph, regClass []ir.RegClass) []*ir.Instr {
 			if readyAt[cand.Index] > cycle {
 				continue
 			}
-			if best == nil || better(cand, best, unscheduledPreds) {
+			if best == nil || better(cand, best, unscheduledPreds, st) {
 				best = cand
 			}
 			if !press.grows(cand) {
-				if bestEasy == nil || better(cand, bestEasy, unscheduledPreds) {
+				if bestEasy == nil || better(cand, bestEasy, unscheduledPreds, nil) {
 					bestEasy = cand
 				}
 			}
 		}
 		if press.high() && bestEasy != nil {
+			if best != bestEasy {
+				st.Inc("sched/pressure_overrides")
+			}
 			best = bestEasy
 		}
 		if best == nil {
@@ -294,23 +316,30 @@ func (p *pressure) issue(n *dag.Node) {
 	}
 }
 
-// better reports whether a should be selected over b.
-func better(a, b *dag.Node, unscheduledPreds []int) bool {
+// better reports whether a should be selected over b. st, when non-nil,
+// counts which selection tier decided each comparison — the tie-breaker
+// usage profile of the heuristic stack (only primary selection
+// comparisons are counted; the pressure tier's duplicates are not).
+func better(a, b *dag.Node, unscheduledPreds []int, st *obs.Stats) bool {
 	// Primary: highest priority (critical path).
 	if a.Priority != b.Priority {
+		st.Inc("sched/pick_by_priority")
 		return a.Priority > b.Priority
 	}
 	// Tie-break 1: control register pressure — prefer the instruction
 	// with the largest (consumed − defined) register count.
 	if pa, pb := pressureDelta(a.Instr), pressureDelta(b.Instr); pa != pb {
+		st.Inc("sched/pick_by_pressure")
 		return pa > pb
 	}
 	// Tie-break 2: expose the most successors (successors whose only
 	// remaining unscheduled predecessor is this node).
 	if ea, eb := exposes(a, unscheduledPreds), exposes(b, unscheduledPreds); ea != eb {
+		st.Inc("sched/pick_by_exposes")
 		return ea > eb
 	}
 	// Tie-break 3: original program order.
+	st.Inc("sched/pick_by_seq")
 	return a.Instr.Seq < b.Instr.Seq
 }
 

@@ -88,6 +88,32 @@ func (m *Metrics) Add(o *Metrics) {
 	m.L1DHits += o.L1DHits
 }
 
+// Each calls f with every scalar metric as a (name, value) pair, the
+// bridge between the simulator's fixed struct and the observability
+// layer's name-keyed counter registry (internal/obs). Names are stable:
+// per-class dynamic counts appear as "instrs/<class>" using the
+// ir.Class names.
+func (m *Metrics) Each(f func(name string, v int64)) {
+	f("cycles", m.Cycles)
+	f("instrs", m.Instrs)
+	for i := range m.ByClass {
+		f("instrs/"+ir.Class(i).String(), m.ByClass[i])
+	}
+	f("spill_stores", m.SpillStores)
+	f("spill_restores", m.SpillRestores)
+	f("load_interlock", m.LoadInterlock)
+	f("fixed_interlock", m.FixedInterlock)
+	f("mshr_stall", m.MSHRStall)
+	f("fetch_stall", m.FetchStall)
+	f("branch_stall", m.BranchStall)
+	f("store_stall", m.StoreStall)
+	f("branches", m.Branches)
+	f("mispredicts", m.Mispredicts)
+	f("prefetches", m.Prefetches)
+	f("loads", m.Loads)
+	f("l1d_hits", m.L1DHits)
+}
+
 func (m *Metrics) String() string {
 	return fmt.Sprintf(
 		"cycles=%d instrs=%d loadIL=%d fixedIL=%d fetch=%d mispredict=%d spills=%d+%d l1d=%.1f%%",

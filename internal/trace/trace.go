@@ -15,6 +15,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/ir"
 	"repro/internal/liveness"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/sched"
 )
@@ -175,6 +176,13 @@ func splitSideEntrances(fn *ir.Func, blocks []int) []Trace {
 // trace as one region with the given weight policy, and schedules the
 // remaining singleton blocks individually. It rewrites fn in place.
 func ScheduleAll(fn *ir.Func, edges profile.Edges, policy sched.Policy) (*Report, error) {
+	return ScheduleAllObserved(fn, edges, policy, nil)
+}
+
+// ScheduleAllObserved is ScheduleAll with an observability registry: every
+// DAG built for a trace or singleton block records its counters (and the
+// scheduler its selection profile) into st. A nil st is free.
+func ScheduleAllObserved(fn *ir.Func, edges profile.Edges, policy sched.Policy, st *obs.Stats) (*Report, error) {
 	rep := &Report{}
 	traces := Form(fn, edges)
 	done := make(map[int]bool)
@@ -182,7 +190,7 @@ func ScheduleAll(fn *ir.Func, edges profile.Edges, policy sched.Policy) (*Report
 		if len(tr.Blocks) < 2 {
 			continue
 		}
-		if err := scheduleTrace(fn, tr, policy, rep); err != nil {
+		if err := scheduleTrace(fn, tr, policy, rep, st); err != nil {
 			return rep, err
 		}
 		for _, b := range tr.Blocks {
@@ -194,7 +202,7 @@ func ScheduleAll(fn *ir.Func, edges profile.Edges, policy sched.Policy) (*Report
 	// appended by compensation or re-splitting are already scheduled.
 	for _, tr := range traces {
 		if len(tr.Blocks) == 1 && !done[tr.Blocks[0]] {
-			ScheduleBlock(fn, fn.Blocks[tr.Blocks[0]], policy)
+			ScheduleBlockObserved(fn, fn.Blocks[tr.Blocks[0]], policy, st)
 		}
 	}
 	return rep, fn.Validate()
@@ -203,17 +211,23 @@ func ScheduleAll(fn *ir.Func, edges profile.Edges, policy sched.Policy) (*Report
 // ScheduleBlock list-schedules a single basic block of fn in place with
 // the given weight policy.
 func ScheduleBlock(fn *ir.Func, b *ir.Block, policy sched.Policy) {
+	ScheduleBlockObserved(fn, b, policy, nil)
+}
+
+// ScheduleBlockObserved is ScheduleBlock recording DAG/scheduler counters
+// into st (nil = off).
+func ScheduleBlockObserved(fn *ir.Func, b *ir.Block, policy sched.Policy, st *obs.Stats) {
 	if len(b.Instrs) < 2 {
 		return
 	}
-	g := dag.Build(b.Instrs, dag.Options{})
+	g := dag.Build(b.Instrs, dag.Options{Stats: st})
 	sched.AssignWeights(g, policy)
 	b.Instrs = sched.Schedule(g, fn.RegClass)
 }
 
 // scheduleTrace schedules one multi-block trace as a region, re-splits the
 // result into blocks and inserts join compensation code.
-func scheduleTrace(fn *ir.Func, tr Trace, policy sched.Policy, rep *Report) error {
+func scheduleTrace(fn *ir.Func, tr Trace, policy sched.Policy, rep *Report, st *obs.Stats) error {
 	n := len(tr.Blocks)
 	inTrace := make(map[int]int, n) // block ID -> position in trace
 	for k, b := range tr.Blocks {
@@ -271,6 +285,7 @@ func scheduleTrace(fn *ir.Func, tr Trace, policy sched.Policy, rep *Report) erro
 	live := liveness.Compute(fn)
 	opts := dag.Options{
 		Trace:  true,
+		Stats:  st,
 		HomeOf: func(i int) int { return homes[i] },
 		Joins:  joins,
 		LiveOutOffTrace: func(branchIdx int, r ir.Reg) bool {

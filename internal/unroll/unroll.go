@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/hlir"
+	"repro/internal/obs"
 )
 
 // InstrLimit returns the paper's unrolled-body instruction limit for an
@@ -29,32 +30,48 @@ func InstrLimit(factor int) int { return 16 * factor }
 // that the factor-4 limit blocked). Loops marked NoUnroll (postcondition
 // remainders, locality-transformed loops) are left alone.
 func Apply(p *hlir.Program, factor int) *hlir.Program {
+	return ApplyObserved(p, factor, nil)
+}
+
+// ApplyObserved is Apply recording each loop's unrolling decision
+// (fully unrolled / unrolled with postcondition / left alone) and the
+// achieved-factor histogram into st. A nil st is free.
+func ApplyObserved(p *hlir.Program, factor int, st *obs.Stats) *hlir.Program {
 	out := p.Clone()
-	out.Body = applyBody(out.Body, factor)
+	out.Body = applyBody(out.Body, factor, st)
 	return out
 }
 
-func applyBody(body []hlir.Stmt, factor int) []hlir.Stmt {
+func applyBody(body []hlir.Stmt, factor int, obst *obs.Stats) []hlir.Stmt {
 	var res []hlir.Stmt
 	for _, st := range body {
 		switch st := st.(type) {
 		case *hlir.Loop:
-			st.Body = applyBody(st.Body, factor)
+			st.Body = applyBody(st.Body, factor, obst)
+			obst.Inc("unroll/loops_seen")
 			if n, ok := ConstTrip(st); ok && n <= int64(factor) && eligible(st) &&
 				int(n)*EstimateInstrs(st.Body) <= InstrLimit(factor) {
 				// A constant trip count within the unrolling factor:
 				// expand the loop completely — no remainder, no branch.
+				obst.Inc("unroll/fully_unrolled")
+				obst.Observe("unroll/factor", n)
 				res = append(res, FullyUnroll(st, int(n))...)
 				continue
 			}
 			if f := BestFactor(st, factor); f >= 2 {
+				obst.Inc("unroll/postconditioned")
+				if f < factor {
+					obst.Inc("unroll/factor_reduced")
+				}
+				obst.Observe("unroll/factor", int64(f))
 				res = append(res, Unroll(st, f)...)
 				continue
 			}
+			obst.Inc("unroll/left_alone")
 			res = append(res, st)
 		case *hlir.If:
-			st.Then = applyBody(st.Then, factor)
-			st.Else = applyBody(st.Else, factor)
+			st.Then = applyBody(st.Then, factor, obst)
+			st.Else = applyBody(st.Else, factor, obst)
 			res = append(res, st)
 		default:
 			res = append(res, st)
