@@ -6,14 +6,19 @@
 //
 // Usage:
 //
-//	bsched [-dump] [-file prog.hlir] [-cpuprofile out.pb.gz] [-memprofile out.pb.gz]
-//	       [-gotrace out.trace] <benchmark> [config ...]
+//	bsched [-dump] [-verify] [-file prog.hlir] [-cpuprofile out.pb.gz]
+//	       [-memprofile out.pb.gz] [-gotrace out.trace] <benchmark> [config ...]
 //
 // Configs are comma-free names like BS, TS, BS+LU4, TS+TrS+LU8,
 // BS+LA+TrS+LU8. With none given, a representative set runs. With -file,
 // the program is parsed from the given HLIR source file (the notation of
 // the paper's figures — see examples/frontend) instead of the built-in
-// workload; array contents start zeroed.
+// workload; array contents start zeroed. -verify runs the structural
+// invariant checkers (internal/verify) between every compile phase.
+//
+// Exit codes: 0 = clean; 1 = usage or fatal error; 3 = a verification
+// failure — an invariant violation under -verify, or a simulated output
+// checksum that differs from the reference interpreter's.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/hlir"
 	"repro/internal/obs"
+	"repro/internal/verify"
 	"repro/internal/workload"
 )
 
@@ -40,6 +46,7 @@ func exit(code int) {
 
 func main() {
 	dump := flag.Bool("dump", false, "print the scheduled machine code")
+	verifyFlag := flag.Bool("verify", false, "run structural invariant verifiers between every compile phase")
 	file := flag.String("file", "", "run a program parsed from this HLIR source file")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit")
@@ -59,7 +66,7 @@ func main() {
 		for _, b := range workload.All() {
 			fmt.Fprintf(os.Stderr, "  %-10s %s\n", b.Name, b.Description)
 		}
-		exit(2)
+		exit(1)
 	}
 	var build func() (*hlir.Program, *core.Data)
 	var title, traits string
@@ -93,7 +100,7 @@ func main() {
 			cfg, err := core.ParseConfig(s)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "bsched:", err)
-				exit(2)
+				exit(1)
 			}
 			configs = append(configs, cfg)
 		}
@@ -112,10 +119,14 @@ func main() {
 	fmt.Printf("traits: %s\n\n", traits)
 	fmt.Printf("%-14s %10s %10s %9s %9s %8s %8s %9s %7s %7s\n",
 		"config", "cycles", "instrs", "loadIL", "fixedIL", "fetch", "brStall", "spills", "L1D%", "CPI")
+	mismatched := false
 	for _, cfg := range configs {
-		c, err := core.Compile(p, cfg, d)
+		c, err := core.CompileWithOptions(p, cfg, d, nil, nil, core.Options{Verify: *verifyFlag})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bsched: %s: %v\n", cfg.Name(), err)
+			if verify.IsVerification(err) {
+				exit(3)
+			}
 			exit(1)
 		}
 		met, got, err := core.Execute(c, d)
@@ -126,6 +137,7 @@ func main() {
 		status := ""
 		if got != want {
 			status = "  CHECKSUM MISMATCH"
+			mismatched = true
 		}
 		cpi := float64(met.Cycles) / float64(met.Instrs)
 		fmt.Printf("%-14s %10d %10d %9d %9d %8d %8d %9d %6.1f%% %7.2f%s\n",
@@ -135,5 +147,10 @@ func main() {
 		if *dump {
 			fmt.Println(c.Fn)
 		}
+	}
+	// A checksum mismatch is a verification failure: the full breakdown
+	// was printed so every mismatching config is visible, then exit 3.
+	if mismatched {
+		exit(3)
 	}
 }

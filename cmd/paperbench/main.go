@@ -3,18 +3,36 @@
 // configurations, simulates each on the Alpha 21164 model, verifies that
 // all configurations compute identical program outputs, and prints the
 // requested tables. The grid executes on the cell-parallel engine: every
-// (benchmark, configuration) cell is an independent unit of work.
+// (benchmark, configuration) cell is an independent, fault-isolated unit
+// of work — a panicking or hung cell degrades its table rows instead of
+// killing the run.
 //
 // Usage:
 //
 //	paperbench [-table N] [-bench name,name,...] [-jobs N] [-json] [-v]
-//	           [-tracefile out.json] [-metrics out.txt]
+//	           [-verify] [-cell-timeout d] [-journal cells.jsonl] [-resume]
+//	           [-out file] [-tracefile out.json] [-metrics out.txt]
 //	           [-cpuprofile out.pb.gz] [-memprofile out.pb.gz] [-gotrace out.trace]
 //
 // With no flags it prints every table (1-9). -jobs bounds concurrent
 // cells (default GOMAXPROCS); -json emits the raw grid — per-cell metrics,
 // phase timings and observability counters — instead of rendered tables;
 // -v streams live cells-done/total progress to stderr.
+//
+// Robustness: -verify runs the internal/verify invariant checkers (IR,
+// DAG, schedule, register allocation) between every compile phase of
+// every cell. -cell-timeout bounds each cell's wall clock. -journal
+// appends each finished cell to a JSONL journal as it completes, and
+// -resume replays the journal's successful cells instead of recomputing
+// them. -out writes the rendered output to a file atomically
+// (temp+rename) instead of stdout. -faultspec/-faultseed install a
+// deterministic fault-injection plan (for chaos testing the pipeline).
+//
+// Exit codes: 0 = clean run; 1 = usage or fatal error; 2 = the grid
+// completed degraded (some cells failed; tables/JSON cover the healthy
+// cells); 3 = at least one failure was a verification failure (invariant
+// or output-checksum violation) — the most serious outcome, since it
+// means the compiler produced a wrong result rather than crashing.
 //
 // Observability: -tracefile records one span per grid cell (with nested
 // compile-phase and simulation spans) on one lane per worker and writes
@@ -25,17 +43,22 @@
 package main
 
 import (
+	"bytes"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
+	"repro/internal/verify"
 )
 
-// prof, tracer and traceFilePath are package-level so fatal can flush a
+// prof, tracer and traceFilePath are package-level so fail can flush a
 // partial trace and stop profiles before exiting.
 var (
 	prof          *obs.Profiles
@@ -44,28 +67,51 @@ var (
 )
 
 func main() {
-	table := flag.Int("table", 0, "print only table N (1-9); 0 = all")
-	benchList := flag.String("bench", "", "comma-separated benchmark subset (default: all 17)")
-	ext := flag.Bool("ext", false, "also run the extension experiments (E1 superscalar, E2 policies, E3 prefetching)")
-	jobs := flag.Int("jobs", 0, "max concurrently executing grid cells (0 = GOMAXPROCS)")
-	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (per-cell metrics, phase timings + counters) instead of tables")
-	verbose := flag.Bool("v", false, "print live per-cell progress")
-	traceFile := flag.String("tracefile", "", "write a Chrome trace-event JSON timeline of the grid run (Perfetto)")
-	metricsFile := flag.String("metrics", "", "write the merged counter registry as a Prometheus-style text dump")
-	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run")
-	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit")
-	goTrace := flag.String("gotrace", "", "write a Go execution trace (inspect with go tool trace)")
-	flag.Parse()
+	os.Exit(realMain(os.Args[1:]))
+}
+
+func realMain(args []string) int {
+	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
+	table := fs.Int("table", 0, "print only table N (1-9); 0 = all")
+	benchList := fs.String("bench", "", "comma-separated benchmark subset (default: all 17)")
+	ext := fs.Bool("ext", false, "also run the extension experiments (E1 superscalar, E2 policies, E3 prefetching)")
+	jobs := fs.Int("jobs", 0, "max concurrently executing grid cells (0 = GOMAXPROCS)")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON (per-cell metrics, phase timings + counters) instead of tables")
+	verbose := fs.Bool("v", false, "print live per-cell progress")
+	verifyFlag := fs.Bool("verify", false, "run structural invariant verifiers between every compile phase")
+	cellTimeout := fs.Duration("cell-timeout", 0, "wall-clock bound per grid cell (0 = none)")
+	journal := fs.String("journal", "", "append each finished cell to this JSONL journal")
+	resume := fs.Bool("resume", false, "replay cells already in -journal instead of recomputing them")
+	outFile := fs.String("out", "", "write output to this file atomically (temp+rename) instead of stdout")
+	faultSpec := fs.String("faultspec", "", "deterministic fault-injection plan, e.g. 'regalloc/allocate=error@1;sim/run=delay:50ms~0.1'")
+	faultSeed := fs.Int64("faultseed", 1, "seed for probabilistic fault-injection decisions")
+	traceFile := fs.String("tracefile", "", "write a Chrome trace-event JSON timeline of the grid run (Perfetto)")
+	metricsFile := fs.String("metrics", "", "write the merged counter registry as a Prometheus-style text dump")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile at exit")
+	goTrace := fs.String("gotrace", "", "write a Go execution trace (inspect with go tool trace)")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
 
 	var names []string
 	if *benchList != "" {
 		names = strings.Split(*benchList, ",")
 	}
 
+	if *faultSpec != "" {
+		plan, err := faultinject.ParseSpec(*faultSeed, *faultSpec)
+		if err != nil {
+			return fail(err)
+		}
+		faultinject.Enable(plan)
+		defer faultinject.Disable()
+	}
+
 	var err error
 	prof, err = obs.StartProfiles(*cpuProfile, *memProfile, *goTrace)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	defer prof.Stop()
 	if *traceFile != "" {
@@ -74,11 +120,32 @@ func main() {
 	}
 	defer flushTrace()
 
+	// Output goes to stdout, or — with -out — through a buffer that is
+	// committed atomically at the end so a crash never leaves a torn file.
+	w := io.Writer(os.Stdout)
+	var outBuf *bytes.Buffer
+	if *outFile != "" {
+		outBuf = &bytes.Buffer{}
+		w = outBuf
+	}
+	commit := func(code int) int {
+		if outBuf != nil {
+			if err := exp.WriteFileAtomic(*outFile, outBuf.Bytes()); err != nil {
+				return fail(err)
+			}
+		}
+		return code
+	}
+
 	start := time.Now()
 	opt := exp.Options{
-		Jobs:    *jobs,
-		Tracer:  tracer,
-		Observe: *jsonOut || *metricsFile != "",
+		Jobs:        *jobs,
+		Tracer:      tracer,
+		Observe:     *jsonOut || *metricsFile != "",
+		Verify:      *verifyFlag,
+		CellTimeout: *cellTimeout,
+		Journal:     *journal,
+		Resume:      *resume,
 	}
 	if *verbose {
 		opt.Progress = func(done, total int, bench, config string) {
@@ -88,38 +155,60 @@ func main() {
 	}
 
 	if *ext && *table == 0 {
+		code := 0
 		if *jsonOut {
 			for _, f := range []func([]string, ...exp.Options) ([]exp.ExtResult, error){exp.RunE1, exp.RunE2, exp.RunE3} {
 				res, err := f(names, opt)
 				if err != nil {
-					fatal(err)
+					var ge *exp.GridError
+					if !errors.As(err, &ge) {
+						return fail(err)
+					}
+					code = maxCode(code, reportDegraded(ge))
 				}
-				if err := exp.WriteExtJSON(os.Stdout, res); err != nil {
-					fatal(err)
+				if err := exp.WriteExtJSON(w, res); err != nil {
+					return fail(err)
 				}
 			}
-			return
+			return commit(code)
 		}
 		for _, f := range []func([]string, ...exp.Options) (*exp.Table, error){exp.TableE1, exp.TableE2, exp.TableE3} {
 			t, err := f(names, opt)
 			if err != nil {
-				fatal(err)
+				var ge *exp.GridError
+				if !errors.As(err, &ge) {
+					return fail(err)
+				}
+				code = maxCode(code, reportDegraded(ge))
+				continue
 			}
-			t.Write(os.Stdout)
+			t.Write(w)
 		}
-		return
+		return commit(code)
 	}
 
 	// Static tables need no simulation.
 	static := map[int]func() *exp.Table{1: exp.Table1, 2: exp.Table2, 3: exp.Table3}
 	if f, ok := static[*table]; ok {
-		f().Write(os.Stdout)
-		return
+		f().Write(w)
+		return commit(0)
+	}
+	dynamicTable := *table >= 4 && *table <= 9
+	if *table != 0 && !dynamicTable {
+		fmt.Fprintf(os.Stderr, "paperbench: no table %d\n", *table)
+		return 1
 	}
 
 	suite, err := exp.RunGrid(names, opt)
+	code := 0
 	if err != nil {
-		fatal(err)
+		var ge *exp.GridError
+		if !errors.As(err, &ge) || suite == nil {
+			return fail(err)
+		}
+		// Degraded: every healthy cell is still in the suite; render
+		// partial tables and report the injured cells on stderr.
+		code = reportDegraded(ge)
 	}
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "grid complete in %.1fs\n", time.Since(start).Seconds())
@@ -127,54 +216,68 @@ func main() {
 
 	if *metricsFile != "" {
 		if err := writeMetrics(suite, *metricsFile); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
 
 	if *jsonOut {
-		if err := suite.WriteJSON(os.Stdout); err != nil {
-			fatal(err)
+		if err := suite.WriteJSON(w); err != nil {
+			return fail(err)
 		}
-		return
+		return commit(code)
 	}
 
 	dynamic := map[int]func() *exp.Table{
 		4: suite.Table4, 5: suite.Table5, 6: suite.Table6,
 		7: suite.Table7, 8: suite.Table8, 9: suite.Table9,
 	}
-	if *table != 0 {
-		f, ok := dynamic[*table]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "paperbench: no table %d\n", *table)
-			os.Exit(2)
-		}
-		f().Write(os.Stdout)
-		return
+	if dynamicTable {
+		dynamic[*table]().Write(w)
+		return commit(code)
 	}
-	exp.Table1().Write(os.Stdout)
-	exp.Table2().Write(os.Stdout)
-	exp.Table3().Write(os.Stdout)
+	exp.Table1().Write(w)
+	exp.Table2().Write(w)
+	exp.Table3().Write(w)
 	for _, t := range suite.Tables() {
-		t.Write(os.Stdout)
+		t.Write(w)
 	}
+	return commit(code)
+}
+
+// reportDegraded summarizes a degraded grid on stderr and returns the
+// exit code it warrants: 3 when any failure is a verification failure
+// (the compiler produced a wrong result), 2 otherwise.
+func reportDegraded(ge *exp.GridError) int {
+	fmt.Fprintf(os.Stderr, "paperbench: grid completed degraded: %d cells failed\n", len(ge.Cells))
+	code := 2
+	for _, ce := range ge.Cells {
+		fmt.Fprintf(os.Stderr, "  %v\n", ce)
+		if verify.IsVerification(ce.Err) {
+			code = 3
+		}
+	}
+	return code
+}
+
+func maxCode(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // writeMetrics dumps the suite's merged observability snapshot in the
-// Prometheus text exposition format.
+// Prometheus text exposition format, atomically.
 func writeMetrics(suite *exp.Suite, path string) error {
 	snap := suite.MergedObs()
 	if snap == nil {
 		return fmt.Errorf("no counters collected (internal error: -metrics should enable observation)")
 	}
-	f, err := os.Create(path)
-	if err != nil {
+	var buf bytes.Buffer
+	if err := snap.WritePrometheus(&buf, "paperbench_"); err != nil {
 		return err
 	}
-	if err := snap.WritePrometheus(f, "paperbench_"); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return exp.WriteFileAtomic(path, buf.Bytes())
 }
 
 // flushTrace writes the Chrome trace once; on a fatal exit a partial
@@ -196,9 +299,9 @@ func flushTrace() {
 	tracer = nil
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	flushTrace()
 	prof.Stop()
 	fmt.Fprintln(os.Stderr, "paperbench:", err)
-	os.Exit(1)
+	return 1
 }

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/hlir"
 	"repro/internal/ir"
 	"repro/internal/licm"
@@ -32,7 +33,20 @@ import (
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/unroll"
+	"repro/internal/verify"
 )
+
+// Options selects optional pipeline behaviour beyond the experimental
+// configuration itself.
+type Options struct {
+	// Verify runs the structural invariant checkers of internal/verify
+	// between phases: the IR verifier after lowering, the DAG and schedule
+	// verifiers on every scheduling region, and the register-allocation
+	// post-condition checks. Verification is read-only — a verified
+	// pipeline produces bit-identical code — and any violation surfaces as
+	// a *verify.Error.
+	Verify bool
+}
 
 // Config selects one point in the paper's experiment grid.
 type Config struct {
@@ -149,10 +163,18 @@ func CompileCached(p *hlir.Program, cfg Config, data *Data, profiles *ProfileCac
 // CompileObserved is CompileCached with observability: every phase runs
 // under a trace span on ob's lane (also accumulated into out.Phases), and
 // the phases record their counters into ob's registry. A nil ob — or nil
-// tracer/stats inside it — disables the corresponding instrument for free,
-// so this is the only pipeline body; Compile and CompileCached delegate
-// here.
+// tracer/stats inside it — disables the corresponding instrument for free.
 func CompileObserved(p *hlir.Program, cfg Config, data *Data, profiles *ProfileCache, ob *obs.Obs) (*Compiled, error) {
+	return CompileWithOptions(p, cfg, data, profiles, ob, Options{})
+}
+
+// CompileWithOptions is CompileObserved plus pipeline options (invariant
+// verification). It is the only pipeline body; every other Compile
+// variant delegates here.
+func CompileWithOptions(p *hlir.Program, cfg Config, data *Data, profiles *ProfileCache, ob *obs.Obs, opt Options) (*Compiled, error) {
+	if err := faultinject.Hit("core/compile", p.Name); err != nil {
+		return nil, err
+	}
 	st := ob.Stat()
 	prog := p
 	out := &Compiled{Config: cfg}
@@ -204,6 +226,12 @@ func CompileObserved(p *hlir.Program, cfg Config, data *Data, profiles *ProfileC
 	out.Fn = res.Fn
 	out.ArrayID = res.ArrayID
 	out.Program = prog
+	if opt.Verify {
+		if err := verify.Func(res.Fn); err != nil {
+			return nil, fmt.Errorf("core: lowering %s: %w", p.Name, err)
+		}
+		st.Inc("verify/checks")
+	}
 	if cfg.LICM {
 		phase("licm", &out.Phases.LICM, func() error {
 			out.LICM = licm.Apply(res.Fn)
@@ -239,7 +267,7 @@ func CompileObserved(p *hlir.Program, cfg Config, data *Data, profiles *ProfileC
 			st.Inc("core/profile_cache_hits")
 		}
 		err := phase("trace", &out.Phases.Trace, func() error {
-			rep, err := trace.ScheduleAllObserved(res.Fn, edges, cfg.Policy, st)
+			rep, err := trace.ScheduleAllChecked(res.Fn, edges, cfg.Policy, st, opt.Verify)
 			out.Trace = rep
 			return err
 		})
@@ -252,7 +280,9 @@ func CompileObserved(p *hlir.Program, cfg Config, data *Data, profiles *ProfileC
 	} else {
 		err := phase("sched", &out.Phases.Sched, func() error {
 			for _, b := range res.Fn.Blocks {
-				trace.ScheduleBlockObserved(res.Fn, b, cfg.Policy, st)
+				if err := trace.ScheduleBlockChecked(res.Fn, b, cfg.Policy, st, opt.Verify); err != nil {
+					return err
+				}
 			}
 			return res.Fn.Validate()
 		})
@@ -262,7 +292,7 @@ func CompileObserved(p *hlir.Program, cfg Config, data *Data, profiles *ProfileC
 	}
 
 	err := phase("regalloc", &out.Phases.Regalloc, func() error {
-		alloc, err := regalloc.AllocateObserved(res.Fn, st)
+		alloc, err := regalloc.AllocateChecked(res.Fn, st, opt.Verify)
 		out.Alloc = alloc
 		return err
 	})

@@ -1,17 +1,23 @@
 package exp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/hlir"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/verify"
 	"repro/internal/workload"
 )
 
@@ -25,6 +31,13 @@ import (
 // writer of the result set — so the engine is clean under -race by
 // construction. The main grid (Run), the extension grids (E1/E2/E3) and
 // the fuzzing harness all execute through runGrid.
+//
+// The engine is fault-isolated: every cell attempt runs in its own
+// goroutine with a recover guard and an optional deadline, so a panicking
+// or hung cell becomes a structured CellError on its result instead of a
+// process crash, transient failures (panics, timeouts) get one bounded
+// retry, and the grid always runs to completion — a degraded run returns
+// a *GridError listing the injured cells next to the still-valid Suite.
 
 // Options configures a grid run.
 type Options struct {
@@ -45,6 +58,21 @@ type Options struct {
 	// metrics and runtime allocation deltas into an obs.Snapshot stored
 	// on its Result.
 	Observe bool
+	// Verify runs the structural invariant checkers of internal/verify
+	// between every compile phase of every cell (core.Options.Verify).
+	Verify bool
+	// CellTimeout, when positive, bounds each cell attempt's wall clock;
+	// an expired cell is abandoned and reported as a timed-out CellError
+	// (after one retry).
+	CellTimeout time.Duration
+	// Journal, when non-empty, is the path of a JSONL cell journal:
+	// every finished cell is appended as it completes, so an interrupted
+	// grid can be resumed.
+	Journal string
+	// Resume skips cells already present (successfully) in the Journal,
+	// emitting their journaled results instead of recomputing them.
+	// Requires Journal.
+	Resume bool
 }
 
 func (o Options) jobs() int {
@@ -61,14 +89,19 @@ type cellSpec struct {
 	widths []int
 }
 
-// cellResult is one completed cell.
+// cellResult is one completed (or failed) cell.
 type cellResult struct {
 	bench  string
 	cfg    core.Config
-	mets   map[int]*sim.Metrics // by issue width
+	mets   map[int]*sim.Metrics // by issue width; nil when the cell failed
 	static *core.Compiled
 	phases core.PhaseTimes
 	snap   *obs.Snapshot // nil unless Options.Observe
+
+	err              *CellError // non-nil when every attempt failed
+	attempts         int        // attempts made (1, or 2 after a retry)
+	panics, timeouts int        // per-attempt fault tallies
+	resumed          bool       // replayed from the journal, not executed
 }
 
 // frontEnd lazily builds one benchmark's shared state: the program, its
@@ -101,15 +134,41 @@ func (f *frontEnd) get(ob *obs.Obs) (*hlir.Program, *core.Data, uint64, *core.Pr
 	return f.p, f.d, f.want, f.profiles, f.err
 }
 
+// phaseTracker names the pipeline stage a cell attempt is in, readable
+// race-free from the parent goroutine when the attempt is abandoned on
+// timeout.
+type phaseTracker struct{ v atomic.Int32 }
+
+const (
+	phaseFrontend int32 = iota
+	phaseCompile
+	phaseSim
+	phaseCheck
+)
+
+var phaseNames = [...]string{"frontend", "compile", "sim", "check"}
+
+func (p *phaseTracker) set(v int32)  { p.v.Store(v) }
+func (p *phaseTracker) name() string { return phaseNames[p.v.Load()] }
+
 // runCell compiles and simulates one cell, enforcing the output-checksum
 // oracle at every width. When ob carries a tracer, the whole cell runs
 // under a "cell" span on the worker's lane with nested compile-phase and
 // per-width "sim" spans; when it carries a stats registry, the cell's
 // compiler counters, simulator metrics (width 1) and runtime allocation
-// deltas are snapshotted into the result.
-func runCell(fe *frontEnd, spec cellSpec, ob *obs.Obs) (*cellResult, error) {
+// deltas are snapshotted into the result. ctx is consulted at stage
+// boundaries so an expired attempt stops promptly instead of running the
+// remaining widths.
+func runCell(ctx context.Context, fe *frontEnd, spec cellSpec, ob *obs.Obs, opt Options, ph *phaseTracker) (*cellResult, error) {
+	ph.set(phaseFrontend)
 	p, d, want, profiles, err := fe.get(ob)
 	if err != nil {
+		return nil, err
+	}
+	if err := faultinject.Hit("exp/cell", fe.b.Name+"/"+spec.cfg.Name()); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	cellSpan := ob.Begin("cell", "exp").
@@ -121,7 +180,8 @@ func runCell(fe *frontEnd, spec cellSpec, ob *obs.Obs) (*cellResult, error) {
 	if st != nil {
 		runtime.ReadMemStats(&mem0)
 	}
-	c, err := core.CompileObserved(p, spec.cfg, d, profiles, ob)
+	ph.set(phaseCompile)
+	c, err := core.CompileWithOptions(p, spec.cfg, d, profiles, ob, core.Options{Verify: opt.Verify})
 	if err != nil {
 		return nil, fmt.Errorf("exp: %s %s: %w", fe.b.Name, spec.cfg.Name(), err)
 	}
@@ -137,6 +197,10 @@ func runCell(fe *frontEnd, spec cellSpec, ob *obs.Obs) (*cellResult, error) {
 		phases: c.Phases,
 	}
 	for _, w := range widths {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ph.set(phaseSim)
 		simSpan := ob.Begin("sim", "sim").Arg("width", strconv.Itoa(w))
 		start := time.Now()
 		met, got, err := core.ExecuteWidth(c, d, w)
@@ -145,9 +209,12 @@ func runCell(fe *frontEnd, spec cellSpec, ob *obs.Obs) (*cellResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("exp: %s %s w%d: %w", fe.b.Name, spec.cfg.Name(), w, err)
 		}
-		if got != want {
-			return nil, fmt.Errorf("exp: %s %s w%d: output checksum %x, want %x (miscompilation)",
-				fe.b.Name, spec.cfg.Name(), w, got, want)
+		// The checksum oracle is always on: it is the sim cross-check
+		// against reference interpretation, typed as a verification
+		// failure.
+		ph.set(phaseCheck)
+		if err := verify.Checksums(fe.b.Name, spec.cfg.Name(), got, want); err != nil {
+			return nil, fmt.Errorf("exp: %s %s w%d: %w", fe.b.Name, spec.cfg.Name(), w, err)
 		}
 		out.mets[w] = met
 		if w == 1 && st != nil {
@@ -168,42 +235,207 @@ func runCell(fe *frontEnd, spec cellSpec, ob *obs.Obs) (*cellResult, error) {
 	return out, nil
 }
 
+// runCellOnce executes one attempt of a cell inside its own goroutine,
+// converting a panic or deadline expiry into a *CellError. The attempt
+// goroutine writes its outcome to a buffered channel, so an abandoned
+// (timed-out) attempt can still complete its send and exit when the hung
+// stage eventually returns — the goroutine outlives the deadline but
+// does not leak forever.
+func runCellOnce(fe *frontEnd, spec cellSpec, opt Options, lane int) (*cellResult, *CellError) {
+	ctx := context.Background()
+	cancel := func() {}
+	if opt.CellTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, opt.CellTimeout)
+	}
+	defer cancel()
+
+	var ph phaseTracker
+	cellErr := func(err error) *CellError {
+		return &CellError{Bench: fe.b.Name, Config: spec.cfg.Name(), Phase: ph.name(), Err: err}
+	}
+	type outcome struct {
+		r     *cellResult
+		err   error
+		pv    any
+		stack string
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if v := recover(); v != nil {
+				done <- outcome{pv: v, stack: string(debug.Stack())}
+			}
+		}()
+		// One Obs per attempt: the stats registry is single-goroutine by
+		// design, so each attempt gets a fresh one; the tracer is shared
+		// and the lane identifies the worker.
+		ob := &obs.Obs{Tracer: opt.Tracer, Lane: lane}
+		if opt.Observe {
+			ob.Stats = obs.NewStats()
+		}
+		r, err := runCell(ctx, fe, spec, ob, opt, &ph)
+		done <- outcome{r: r, err: err}
+	}()
+	select {
+	case o := <-done:
+		switch {
+		case o.pv != nil:
+			ce := cellErr(nil)
+			ce.Panic = o.pv
+			ce.Stack = o.stack
+			return nil, ce
+		case o.err != nil:
+			ce := cellErr(o.err)
+			if errors.Is(o.err, context.DeadlineExceeded) {
+				ce.Timeout = true
+			}
+			return nil, ce
+		default:
+			return o.r, nil
+		}
+	case <-ctx.Done():
+		ce := cellErr(ctx.Err())
+		ce.Timeout = true
+		return nil, ce
+	}
+}
+
+// runCellAttempts drives a cell to completion with one bounded retry for
+// transient failures (panics and timeouts); deterministic failures —
+// compile errors, verification failures, checksum mismatches — are not
+// retried. The returned result always carries the attempt and fault
+// tallies for the engine's robustness counters.
+func runCellAttempts(fe *frontEnd, spec cellSpec, opt Options, lane int) *cellResult {
+	const maxAttempts = 2
+	var panics, timeouts int
+	for attempt := 1; ; attempt++ {
+		r, cerr := runCellOnce(fe, spec, opt, lane)
+		if cerr == nil {
+			r.attempts = attempt
+			r.panics, r.timeouts = panics, timeouts
+			return r
+		}
+		if cerr.Panic != nil {
+			panics++
+		}
+		if cerr.Timeout {
+			timeouts++
+		}
+		transient := cerr.Panic != nil || cerr.Timeout
+		if attempt >= maxAttempts || !transient {
+			cerr.Attempts = attempt
+			return &cellResult{
+				bench: fe.b.Name, cfg: spec.cfg,
+				err: cerr, attempts: attempt, panics: panics, timeouts: timeouts,
+			}
+		}
+	}
+}
+
 // runGrid executes every (benchmark, spec) cell under opt and feeds
 // completed cells to emit, which runs on the caller's goroutine — the
-// single aggregation point — in completion order. The first cell error
-// aborts the remaining queue and is returned after in-flight cells drain.
-func runGrid(benches []workload.Benchmark, specs []cellSpec, opt Options, emit func(cellResult)) error {
+// single aggregation point — in completion order. Failed cells arrive at
+// emit too (with cellResult.err set); when any cell failed, runGrid
+// returns a *GridError after the whole grid has drained. eng, when
+// non-nil, receives the engine's robustness counters (cell panics,
+// timeouts, retries, errors, resumes, verification failures); it is only
+// touched from the aggregator.
+func runGrid(benches []workload.Benchmark, specs []cellSpec, opt Options, eng *obs.Stats, emit func(cellResult)) error {
 	fes := make([]*frontEnd, len(benches))
 	for i, b := range benches {
 		fes[i] = &frontEnd{b: b}
 	}
 
+	// Resume: index the journal's successful cells (first entry wins).
+	var journaled map[string]journalEntry
+	if opt.Resume {
+		if opt.Journal == "" {
+			return fmt.Errorf("exp: Resume requires Journal")
+		}
+		entries, err := readJournal(opt.Journal)
+		if err != nil {
+			return err
+		}
+		journaled = make(map[string]journalEntry, len(entries))
+		for _, e := range entries {
+			if e.Error != "" {
+				continue // failed cells are re-run
+			}
+			k := e.Bench + "\x00" + e.Config
+			if _, ok := journaled[k]; !ok {
+				journaled[k] = e
+			}
+		}
+	}
+	var jw *journalWriter
+	if opt.Journal != "" {
+		w, err := openJournal(opt.Journal)
+		if err != nil {
+			return err
+		}
+		jw = w
+	}
+
+	total := len(benches) * len(specs)
+	done := 0
+	var failed []*CellError
+	handle := func(r cellResult) {
+		if eng != nil {
+			eng.Add("exp/cell_panics", int64(r.panics))
+			eng.Add("exp/cell_timeouts", int64(r.timeouts))
+			eng.Add("exp/cell_retries", int64(r.attempts-1))
+			if r.resumed {
+				eng.Inc("exp/cells_resumed")
+			}
+			if r.err != nil {
+				eng.Inc("exp/cell_errors")
+				if verify.IsVerification(r.err.Err) {
+					eng.Inc("verify/failures")
+				}
+			}
+		}
+		if jw != nil && !r.resumed {
+			e := journalEntry{Bench: r.bench, Config: r.cfg.Name(), Widths: r.mets, Phases: r.phases, Obs: r.snap}
+			if r.err != nil {
+				e.Error = r.err.Error()
+			}
+			jw.append(e)
+		}
+		if r.err != nil {
+			failed = append(failed, r.err)
+		}
+		emit(r)
+		done++
+		if opt.Progress != nil {
+			opt.Progress(done, total, r.bench, r.cfg.Name())
+		}
+	}
+
+	// Partition cells into journal replays and live work.
 	type task struct {
 		fe   *frontEnd
 		spec cellSpec
 	}
-	var (
-		aborted  atomic.Bool
-		errOnce  sync.Once
-		firstErr error
-	)
-	fail := func(err error) {
-		errOnce.Do(func() {
-			firstErr = err
-			aborted.Store(true)
-		})
+	var queue []task
+	for _, fe := range fes {
+		for _, spec := range specs {
+			if e, ok := journaled[fe.b.Name+"\x00"+spec.cfg.Name()]; ok {
+				handle(cellResult{
+					bench: fe.b.Name, cfg: spec.cfg,
+					mets: e.Widths, phases: e.Phases, snap: e.Obs,
+					attempts: 1, resumed: true,
+				})
+				continue
+			}
+			queue = append(queue, task{fe: fe, spec: spec})
+		}
 	}
 
 	tasks := make(chan task)
 	go func() {
 		defer close(tasks)
-		for _, fe := range fes {
-			for _, spec := range specs {
-				if aborted.Load() {
-					return
-				}
-				tasks <- task{fe: fe, spec: spec}
-			}
+		for _, t := range queue {
+			tasks <- t
 		}
 	}()
 
@@ -215,22 +447,7 @@ func runGrid(benches []workload.Benchmark, specs []cellSpec, opt Options, emit f
 		go func(lane int) {
 			defer wg.Done()
 			for t := range tasks {
-				if aborted.Load() {
-					continue
-				}
-				// One Obs per cell: the stats registry is single-goroutine
-				// by design, so each cell gets a fresh one; the tracer is
-				// shared and the lane identifies this worker.
-				ob := &obs.Obs{Tracer: opt.Tracer, Lane: lane}
-				if opt.Observe {
-					ob.Stats = obs.NewStats()
-				}
-				r, err := runCell(t.fe, t.spec, ob)
-				if err != nil {
-					fail(err)
-					continue
-				}
-				results <- r
+				results <- runCellAttempts(t.fe, t.spec, opt, lane)
 			}
 		}(w)
 	}
@@ -239,16 +456,24 @@ func runGrid(benches []workload.Benchmark, specs []cellSpec, opt Options, emit f
 		close(results)
 	}()
 
-	total := len(benches) * len(specs)
-	done := 0
 	for r := range results {
-		emit(*r)
-		done++
-		if opt.Progress != nil {
-			opt.Progress(done, total, r.bench, r.cfg.Name())
+		handle(*r)
+	}
+	if jw != nil {
+		if err := jw.close(); err != nil {
+			return err
 		}
 	}
-	return firstErr
+	if len(failed) > 0 {
+		sort.Slice(failed, func(a, b int) bool {
+			if failed[a].Bench != failed[b].Bench {
+				return failed[a].Bench < failed[b].Bench
+			}
+			return failed[a].Config < failed[b].Config
+		})
+		return &GridError{Cells: failed}
+	}
+	return nil
 }
 
 // RunGrid runs the paper's full 16-configuration grid over the named
@@ -265,7 +490,9 @@ func RunGrid(names []string, opt Options) (*Suite, error) {
 // RunBenchmarks is RunGrid for pre-resolved benchmarks — including
 // synthetic ones (e.g. the fuzzing harness wraps random programs in
 // ad-hoc workload.Benchmark values and pushes them through the same
-// engine and oracle as the paper grid).
+// engine and oracle as the paper grid). When the grid completes degraded
+// the returned error is a *GridError and the Suite is still valid for
+// every healthy cell.
 func RunBenchmarks(benches []workload.Benchmark, opt Options) (*Suite, error) {
 	s := &Suite{results: map[string]map[string]*Result{}}
 	for _, b := range benches {
@@ -276,7 +503,8 @@ func RunBenchmarks(benches []workload.Benchmark, opt Options) (*Suite, error) {
 	for _, cfg := range Cells() {
 		specs = append(specs, cellSpec{cfg: cfg})
 	}
-	err := runGrid(benches, specs, opt, func(r cellResult) {
+	eng := obs.NewStats()
+	err := runGrid(benches, specs, opt, eng, func(r cellResult) {
 		s.results[r.bench][r.cfg.Name()] = &Result{
 			Bench:   r.bench,
 			Config:  r.cfg,
@@ -284,10 +512,14 @@ func RunBenchmarks(benches []workload.Benchmark, opt Options) (*Suite, error) {
 			Static:  r.static,
 			Phases:  r.phases,
 			Obs:     r.snap,
+			Err:     r.err,
 		}
 	})
+	if snap := eng.Snapshot(); len(snap.Counters) > 0 {
+		s.engine = snap
+	}
 	if err != nil {
-		return nil, err
+		return s, err
 	}
 	return s, nil
 }

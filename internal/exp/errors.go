@@ -1,0 +1,57 @@
+package exp
+
+import "fmt"
+
+// CellError describes the failure of one (benchmark, configuration)
+// cell. The engine converts every cell-level failure — a returned error,
+// a recovered panic, a deadline expiry — into this structured form so a
+// grid completes degraded instead of crashing, and callers can report
+// exactly which cells were injured and why.
+type CellError struct {
+	// Bench and Config identify the cell.
+	Bench, Config string
+	// Phase is the pipeline stage the cell was in when it failed:
+	// "frontend", "compile", "sim" or "check".
+	Phase string
+	// Err is the failure for error-path cells (nil when the cell
+	// panicked). Verification failures satisfy verify.IsVerification;
+	// injected faults satisfy faultinject.IsInjected.
+	Err error
+	// Panic is the recovered panic value, when the cell panicked.
+	Panic any
+	// Stack is the panicking goroutine's stack trace.
+	Stack string
+	// Timeout reports that the cell exceeded Options.CellTimeout.
+	Timeout bool
+	// Attempts is how many times the cell was tried (transient failures —
+	// panics and timeouts — get one bounded retry).
+	Attempts int
+}
+
+func (e *CellError) Error() string {
+	switch {
+	case e.Panic != nil:
+		return fmt.Sprintf("exp: cell %s/%s panicked in %s (attempt %d): %v",
+			e.Bench, e.Config, e.Phase, e.Attempts, e.Panic)
+	case e.Timeout:
+		return fmt.Sprintf("exp: cell %s/%s timed out in %s (attempt %d): %v",
+			e.Bench, e.Config, e.Phase, e.Attempts, e.Err)
+	default:
+		return fmt.Sprintf("exp: cell %s/%s failed in %s: %v", e.Bench, e.Config, e.Phase, e.Err)
+	}
+}
+
+func (e *CellError) Unwrap() error { return e.Err }
+
+// GridError reports that a grid run completed with failed cells. The
+// suite the run produced is still valid for every healthy cell; tables
+// render the injured ones as degraded.
+type GridError struct {
+	// Cells lists the failed cells in (benchmark, configuration) order.
+	Cells []*CellError
+}
+
+func (e *GridError) Error() string {
+	return fmt.Sprintf("exp: grid completed degraded: %d cells failed (first: %v)",
+		len(e.Cells), e.Cells[0])
+}

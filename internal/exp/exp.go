@@ -14,7 +14,6 @@
 package exp
 
 import (
-	"fmt"
 	"sort"
 	"sync"
 
@@ -69,6 +68,9 @@ type Result struct {
 	// simulator metrics and runtime allocation deltas — when the grid ran
 	// with Options.Observe; nil otherwise.
 	Obs *obs.Snapshot
+	// Err is the cell's structured failure when it could not produce
+	// metrics (the grid completed degraded); nil for healthy cells.
+	Err *CellError
 }
 
 // Suite holds a full grid of results. It is filled by a single aggregator
@@ -78,6 +80,7 @@ type Suite struct {
 	Benchmarks []string
 
 	results map[string]map[string]*Result // bench -> config name -> result
+	engine  *obs.Snapshot                 // engine robustness counters; nil when none fired
 }
 
 // Get returns the result for (bench, cfg), or nil.
@@ -87,8 +90,10 @@ func (s *Suite) Get(bench string, cfg core.Config) *Result {
 
 // MergedObs merges every cell's observability snapshot into one
 // suite-level snapshot (counters summed, histograms widened), the value
-// behind paperbench's -metrics dump. Nil when no cell carried a snapshot
-// (the grid ran without Options.Observe).
+// behind paperbench's -metrics dump — plus the engine's robustness
+// counters (cell panics, timeouts, retries, resumes, verification
+// failures) when any fired. Nil when no cell carried a snapshot and no
+// engine event occurred.
 func (s *Suite) MergedObs() *obs.Snapshot {
 	var merged *obs.Snapshot
 	for _, byCfg := range s.results {
@@ -102,17 +107,25 @@ func (s *Suite) MergedObs() *obs.Snapshot {
 			merged.Merge(r.Obs)
 		}
 	}
+	if s.engine != nil {
+		if merged == nil {
+			merged = &obs.Snapshot{}
+		}
+		merged.Merge(s.engine)
+	}
 	return merged
 }
 
-// metrics is a convenience accessor that panics on a missing cell —
-// callers iterate over the same grid Run filled.
-func (s *Suite) metrics(bench string, cfg core.Config) *sim.Metrics {
+// metrics returns the simulation metrics for (bench, cfg) and whether the
+// cell produced them. ok is false for cells the grid never ran (degraded
+// or resumed-partial runs) and for cells that failed — table renderers
+// use it to print degraded rows instead of panicking.
+func (s *Suite) metrics(bench string, cfg core.Config) (*sim.Metrics, bool) {
 	r := s.Get(bench, cfg)
-	if r == nil {
-		panic(fmt.Sprintf("exp: missing cell %s/%s", bench, cfg.Name()))
+	if r == nil || r.Metrics == nil {
+		return nil, false
 	}
-	return r.Metrics
+	return r.Metrics, true
 }
 
 // Run executes the whole grid for the given benchmarks (all benchmarks

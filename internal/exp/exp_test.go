@@ -1,14 +1,26 @@
 package exp
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/hlir"
 	"repro/internal/sched"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
+
+// met fetches a cell's metrics, panicking on a missing cell — the test
+// grids below are complete by construction.
+func met(s *Suite, bench string, cfg core.Config) *sim.Metrics {
+	m, ok := s.metrics(bench, cfg)
+	if !ok {
+		panic(fmt.Sprintf("missing cell %s/%s", bench, cfg.Name()))
+	}
+	return m
+}
 
 // subset keeps the grid small for test runtime while covering the three
 // behaviour archetypes: a stencil (unrolling + locality), a branchy
@@ -17,7 +29,9 @@ var subset = []string{"tomcatv", "DYFESM", "spice2g6"}
 
 func runSubset(t *testing.T) *Suite {
 	t.Helper()
-	s, err := Run(subset, nil)
+	// Verifiers are always on in tests: every scheduled region is checked
+	// against its DAG and every allocation against its live ranges.
+	s, err := RunGrid(subset, Options{Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,32 +128,32 @@ func TestPaperShapeSubset(t *testing.T) {
 	trs4 := core.Config{Policy: sched.Balanced, Trace: true, Unroll: 4}
 
 	// tomcatv: LA ≥ 1.3 over BS alone (paper: 1.5).
-	tom0 := s.metrics("tomcatv", bs)
-	tomLA := s.metrics("tomcatv", la)
+	tom0 := met(s, "tomcatv", bs)
+	tomLA := met(s, "tomcatv", la)
 	if sp := speedup(tom0, tomLA); sp < 1.3 {
 		t.Errorf("tomcatv locality speedup = %.2f, want >= 1.3", sp)
 	}
 
 	// DYFESM: trace scheduling must not beat plain unrolling by much —
 	// its branches are 50/50, the paper's trace-scheduling failure mode.
-	dyLU := s.metrics("DYFESM", lu4)
-	dyTr := s.metrics("DYFESM", trs4)
+	dyLU := met(s, "DYFESM", lu4)
+	dyTr := met(s, "DYFESM", trs4)
 	if sp := speedup(dyLU, dyTr); sp > 1.05 {
 		t.Errorf("DYFESM gained %.2f from trace scheduling; expected none", sp)
 	}
 
 	// spice2g6: unrolling must barely change the instruction count (the
 	// conditionals block it).
-	sp0 := s.metrics("spice2g6", bs)
-	sp4 := s.metrics("spice2g6", lu4)
+	sp0 := met(s, "spice2g6", bs)
+	sp4 := met(s, "spice2g6", lu4)
 	if d := pctDecrease(sp0.Instrs, sp4.Instrs); d > 1 {
 		t.Errorf("spice2g6 instruction count fell %.1f%% under unrolling; expected ~0", d)
 	}
 
 	// spice2g6: load interlocks dominate under both schedulers.
 	ts := core.Config{Policy: sched.Traditional}
-	if s.metrics("spice2g6", bs).LoadInterlockShare() < 0.3 ||
-		s.metrics("spice2g6", ts).LoadInterlockShare() < 0.3 {
+	if met(s, "spice2g6", bs).LoadInterlockShare() < 0.3 ||
+		met(s, "spice2g6", ts).LoadInterlockShare() < 0.3 {
 		t.Error("spice2g6 load interlock share unexpectedly low")
 	}
 }
@@ -208,7 +222,7 @@ func TestFullGridShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full grid takes seconds; skipped with -short")
 	}
-	s, err := Run(nil, nil)
+	s, err := RunGrid(nil, Options{Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +235,7 @@ func TestFullGridShape(t *testing.T) {
 	}
 	bsVsTs := func(bs, ts core.Config) float64 {
 		return avg(func(b string) float64 {
-			return speedup(s.metrics(b, ts), s.metrics(b, bs))
+			return speedup(met(s, b, ts), met(s, b, bs))
 		})
 	}
 
@@ -241,8 +255,8 @@ func TestFullGridShape(t *testing.T) {
 	//    traditional scheduling's at every optimization level.
 	for _, lv := range [][2]core.Config{{bsNone, tsNone}, {bsLU4, tsLU4}, {bsLU8, tsLU8}, {bsTrS4, tsTrS4}, {bsTrS8, tsTrS8}} {
 		lv := lv
-		bsShare := avg(func(b string) float64 { return s.metrics(b, lv[0]).LoadInterlockShare() })
-		tsShare := avg(func(b string) float64 { return s.metrics(b, lv[1]).LoadInterlockShare() })
+		bsShare := avg(func(b string) float64 { return met(s, b, lv[0]).LoadInterlockShare() })
+		tsShare := avg(func(b string) float64 { return met(s, b, lv[1]).LoadInterlockShare() })
 		if bsShare > 0.85*tsShare {
 			t.Errorf("%s: BS load-interlock share %.1f%% not well below TS %.1f%%",
 				lv[0].Name(), 100*bsShare, 100*tsShare)
@@ -251,16 +265,16 @@ func TestFullGridShape(t *testing.T) {
 
 	// 3. Unrolling by 8 must beat unrolling by 4 for balanced scheduling
 	//    (paper Table 4: 1.19 -> 1.28).
-	sp4 := avg(func(b string) float64 { return speedup(s.metrics(b, bsNone), s.metrics(b, bsLU4)) })
-	sp8 := avg(func(b string) float64 { return speedup(s.metrics(b, bsNone), s.metrics(b, bsLU8)) })
+	sp4 := avg(func(b string) float64 { return speedup(met(s, b, bsNone), met(s, b, bsLU4)) })
+	sp8 := avg(func(b string) float64 { return speedup(met(s, b, bsNone), met(s, b, bsLU8)) })
 	if sp8 <= sp4 {
 		t.Errorf("LU8 speedup %.2f not above LU4 %.2f", sp8, sp4)
 	}
 
 	// 4. Locality analysis must deliver real speedup on its own and
 	//    compound with unrolling (paper Table 9's relative column).
-	laAlone := avg(func(b string) float64 { return speedup(s.metrics(b, bsNone), s.metrics(b, bsLA)) })
-	la8 := avg(func(b string) float64 { return speedup(s.metrics(b, bsNone), s.metrics(b, bsLA8)) })
+	laAlone := avg(func(b string) float64 { return speedup(met(s, b, bsNone), met(s, b, bsLA)) })
+	la8 := avg(func(b string) float64 { return speedup(met(s, b, bsNone), met(s, b, bsLA8)) })
 	if laAlone < 1.1 {
 		t.Errorf("locality analysis alone = %.2f, want >= 1.1 (paper: 1.15)", laAlone)
 	}
@@ -269,20 +283,20 @@ func TestFullGridShape(t *testing.T) {
 	}
 
 	// 5. Per-benchmark signatures from the paper's narrative.
-	if sp := speedup(s.metrics("tomcatv", bsNone), s.metrics("tomcatv", bsLA)); sp < 1.3 {
+	if sp := speedup(met(s, "tomcatv", bsNone), met(s, "tomcatv", bsLA)); sp < 1.3 {
 		t.Errorf("tomcatv locality speedup = %.2f, want >= 1.3", sp)
 	}
 	for _, frozen := range []string{"BDNA", "doduc", "mdljdp2", "ora", "spice2g6"} {
-		if d := pctDecrease(s.metrics(frozen, bsNone).Instrs, s.metrics(frozen, bsLU4).Instrs); d > 0.5 {
+		if d := pctDecrease(met(s, frozen, bsNone).Instrs, met(s, frozen, bsLU4).Instrs); d > 0.5 {
 			t.Errorf("%s: unrolling changed instruction count by %.1f%%; paper says it must not unroll", frozen, d)
 		}
 	}
-	swm4 := speedup(s.metrics("swm256", bsNone), s.metrics("swm256", bsLU4))
-	swm8 := speedup(s.metrics("swm256", bsNone), s.metrics("swm256", bsLU8))
+	swm4 := speedup(met(s, "swm256", bsNone), met(s, "swm256", bsLU4))
+	swm8 := speedup(met(s, "swm256", bsNone), met(s, "swm256", bsLU8))
 	if swm4 > 1.02 || swm8 < 1.2 {
 		t.Errorf("swm256 = %.2f/%.2f at LU4/LU8; paper: blocked at 4, unrolls at 8", swm4, swm8)
 	}
-	if sp := speedup(s.metrics("BDNA", tsNone), s.metrics("BDNA", bsNone)); sp < 1.0 {
+	if sp := speedup(met(s, "BDNA", tsNone), met(s, "BDNA", bsNone)); sp < 1.0 {
 		t.Errorf("BDNA BS/TS = %.2f; its huge blocks should favour balanced scheduling", sp)
 	}
 }

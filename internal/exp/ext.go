@@ -50,13 +50,16 @@ func runExt(names []string, specs []cellSpec, key func(cfg core.Config, width in
 		out[i] = ExtResult{Bench: b.Name, Cycles: map[string]int64{}}
 		idx[b.Name] = i
 	}
-	err = runGrid(benches, specs, opt, func(r cellResult) {
+	err = runGrid(benches, specs, opt, nil, func(r cellResult) {
+		if r.err != nil || r.mets == nil {
+			return // injured cell: its labels stay absent from Cycles
+		}
 		for w, met := range r.mets {
 			out[idx[r.bench]].Cycles[key(r.cfg, w)] = met.Cycles
 		}
 	})
 	if err != nil {
-		return nil, err
+		return out, err
 	}
 	return out, nil
 }

@@ -32,7 +32,7 @@ func TestFuzzGridParallel(t *testing.T) {
 	}
 	// More workers than cells-per-benchmark so cells of one benchmark
 	// race to share its front-end.
-	s, err := RunBenchmarks(benches, Options{Jobs: 24})
+	s, err := RunBenchmarks(benches, Options{Jobs: 24, Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,11 @@ func randomGridProgram(rng *rand.Rand, id int) (*hlir.Program, *core.Data) {
 	}
 	inner = append(inner, hlir.Set(hlir.At(a, i, j), hlir.Add(hlir.At(a, i, j), s)))
 
+	// Initialize s before the loop nest: leaf() may read it before the
+	// first inner Set, and the IR verifier (rightly) rejects a register
+	// that is live into the entry block.
 	p.Body = []hlir.Stmt{
+		hlir.Set(s, hlir.F(0)),
 		hlir.For("i", hlir.I(0), hlir.I(int64(n)),
 			hlir.For("j", hlir.I(0), hlir.I(int64(n-1)), inner...)),
 	}

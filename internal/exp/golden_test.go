@@ -38,7 +38,7 @@ type goldenTables struct {
 //
 //	go test ./internal/exp -run TestGoldenTables -update
 func TestGoldenTables(t *testing.T) {
-	s, err := Run(goldenSubset, nil)
+	s, err := RunGrid(goldenSubset, Options{Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func TestGoldenTables(t *testing.T) {
 		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(goldenPath, append(buf, '\n'), 0o644); err != nil {
+		if err := WriteFileAtomic(goldenPath, append(buf, '\n')); err != nil {
 			t.Fatal(err)
 		}
 		t.Logf("blessed %s", goldenPath)

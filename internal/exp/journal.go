@@ -1,0 +1,114 @@
+package exp
+
+import (
+	"encoding/json"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// journalEntry is one line of the JSONL cell journal: the full result of
+// one finished cell (or its error). Metrics are stored per issue width;
+// encoding/json round-trips the int64 metric fields exactly, which is
+// what lets a resumed grid render byte-identical tables.
+type journalEntry struct {
+	Bench  string               `json:"bench"`
+	Config string               `json:"config"`
+	Widths map[int]*sim.Metrics `json:"metrics,omitempty"`
+	Phases core.PhaseTimes      `json:"phases_ns"`
+	Obs    *obs.Snapshot        `json:"obs,omitempty"`
+	Error  string               `json:"error,omitempty"`
+}
+
+// journalWriter appends entries to the cell journal as cells finish. It
+// is driven only from the engine's single aggregator goroutine; errors
+// are sticky and surfaced once at close.
+type journalWriter struct {
+	f   *os.File
+	err error
+}
+
+func openJournal(path string) (*journalWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &journalWriter{f: f}, nil
+}
+
+func (w *journalWriter) append(e journalEntry) {
+	if w.err != nil {
+		return
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		w.err = err
+		return
+	}
+	b = append(b, '\n')
+	if _, err := w.f.Write(b); err != nil {
+		w.err = err
+	}
+}
+
+func (w *journalWriter) close() error {
+	cerr := w.f.Close()
+	if w.err != nil {
+		return w.err
+	}
+	return cerr
+}
+
+// readJournal loads a cell journal for -resume. A missing file is an
+// empty journal. Parsing stops at the first malformed line — the torn
+// tail of an interrupted run — and keeps every entry before it.
+func readJournal(path string) ([]journalEntry, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []journalEntry
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			break
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// WriteFileAtomic writes data to path via a temporary file in the same
+// directory plus rename, so a reader (or a crash) never observes a
+// partially written file.
+func WriteFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

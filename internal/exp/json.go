@@ -23,6 +23,9 @@ type CellJSON struct {
 	// "sim/"-prefixed simulator metrics, runtime allocation deltas);
 	// omitted when the run did not observe.
 	Obs *obs.Snapshot `json:"obs,omitempty"`
+	// Error is the cell's failure when the grid completed degraded;
+	// omitted for healthy cells.
+	Error string `json:"error,omitempty"`
 }
 
 // SuiteJSON is the machine-readable form of a full grid run.
@@ -47,13 +50,17 @@ func (s *Suite) JSON() *SuiteJSON {
 			if r == nil {
 				continue
 			}
-			out.Cells = append(out.Cells, CellJSON{
+			c := CellJSON{
 				Bench:   r.Bench,
 				Config:  r.Config.Name(),
 				Metrics: r.Metrics,
 				Phases:  r.Phases,
 				Obs:     r.Obs,
-			})
+			}
+			if r.Err != nil {
+				c.Error = r.Err.Error()
+			}
+			out.Cells = append(out.Cells, c)
 		}
 	}
 	return out

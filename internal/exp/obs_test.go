@@ -34,7 +34,7 @@ func observedSuite(t *testing.T) (*Suite, *obs.Tracer) {
 	observedRun.once.Do(func() {
 		observedRun.tr = obs.NewTracer()
 		observedRun.s, observedRun.err = RunGrid([]string{obsBench},
-			Options{Jobs: 2, Tracer: observedRun.tr, Observe: true})
+			Options{Jobs: 2, Tracer: observedRun.tr, Observe: true, Verify: true})
 	})
 	if observedRun.err != nil {
 		t.Fatal(observedRun.err)

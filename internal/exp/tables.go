@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/sched"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -83,6 +84,32 @@ var (
 	bsLATrS8 = core.Config{Policy: sched.Balanced, Locality: true, Trace: true, Unroll: 8}
 )
 
+// row fetches bench's metrics under each cfg; ok is false when any of
+// those cells is missing or failed, in which case the benchmark renders
+// as a degraded row and is excluded from the table's averages.
+func (s *Suite) row(bench string, cfgs ...core.Config) ([]*sim.Metrics, bool) {
+	out := make([]*sim.Metrics, len(cfgs))
+	for i, cfg := range cfgs {
+		m, ok := s.metrics(bench, cfg)
+		if !ok {
+			return nil, false
+		}
+		out[i] = m
+	}
+	return out, true
+}
+
+// degradedRow is a table row for a benchmark with failed or missing
+// cells: its name followed by width-1 "----" columns.
+func degradedRow(bench string, width int) []string {
+	row := make([]string, width)
+	row[0] = bench
+	for i := 1; i < width; i++ {
+		row[i] = "----"
+	}
+	return row
+}
+
 // Table1 describes the workload (static).
 func Table1() *Table {
 	t := &Table{
@@ -143,9 +170,12 @@ func (s *Suite) Table4() *Table {
 	}
 	var sp4, sp8, di4, di8, dl4, dl8 []float64
 	for _, b := range s.sortedBenches() {
-		m0 := s.metrics(b, bsNone)
-		m4 := s.metrics(b, bsLU4)
-		m8 := s.metrics(b, bsLU8)
+		ms, ok := s.row(b, bsNone, bsLU4, bsLU8)
+		if !ok {
+			t.Rows = append(t.Rows, degradedRow(b, len(t.Header)))
+			continue
+		}
+		m0, m4, m8 := ms[0], ms[1], ms[2]
 		row := []string{b,
 			fmt.Sprint(m0.Cycles), f2(speedup(m0, m4)), f2(speedup(m0, m8)),
 			fmt.Sprint(m0.Instrs),
@@ -185,11 +215,16 @@ func (s *Suite) Table5() *Table {
 	levels := [][2]core.Config{{bsNone, tsNone}, {bsLU4, tsLU4}, {bsLU8, tsLU8}}
 	sums := make([][]float64, 13)
 	for _, b := range s.sortedBenches() {
+		ms, ok := s.row(b, bsNone, tsNone, bsLU4, tsLU4, bsLU8, tsLU8)
+		if !ok {
+			t.Rows = append(t.Rows, degradedRow(b, len(t.Header)))
+			continue
+		}
 		row := []string{b}
 		var sp, dl, shares []string
-		for li, lv := range levels {
-			mb := s.metrics(b, lv[0])
-			mt := s.metrics(b, lv[1])
+		for li := range levels {
+			mb := ms[2*li]
+			mt := ms[2*li+1]
 			sp = append(sp, f2(speedup(mt, mb)))
 			sums[1+li] = append(sums[1+li], speedup(mt, mb))
 			if mt.LoadInterlock == 0 {
@@ -243,10 +278,19 @@ func (s *Suite) Table6() *Table {
 	}
 	sums := make([][]float64, len(cols))
 	for _, b := range s.sortedBenches() {
-		m0 := s.metrics(b, bsNone)
+		cfgs := []core.Config{bsNone}
+		for _, c := range cols {
+			cfgs = append(cfgs, c.cfg)
+		}
+		ms, ok := s.row(b, cfgs...)
+		if !ok {
+			t.Rows = append(t.Rows, degradedRow(b, len(t.Header)))
+			continue
+		}
+		m0 := ms[0]
 		row := []string{b}
-		for ci, c := range cols {
-			v := speedup(m0, s.metrics(b, c.cfg))
+		for ci := range cols {
+			v := speedup(m0, ms[ci+1])
 			row = append(row, f2(v))
 			sums[ci] = append(sums[ci], v)
 		}
@@ -282,9 +326,18 @@ func (s *Suite) Table7() *Table {
 	}
 	sums := make([][]float64, len(cols))
 	for _, b := range s.sortedBenches() {
+		var cfgs []core.Config
+		for _, c := range cols {
+			cfgs = append(cfgs, c.ts, c.bs)
+		}
+		ms, ok := s.row(b, cfgs...)
+		if !ok {
+			t.Rows = append(t.Rows, degradedRow(b, len(t.Header)))
+			continue
+		}
 		row := []string{b}
-		for ci, c := range cols {
-			v := speedup(s.metrics(b, c.ts), s.metrics(b, c.bs))
+		for ci := range cols {
+			v := speedup(ms[2*ci], ms[2*ci+1])
 			row = append(row, f2(v))
 			sums[ci] = append(sums[ci], v)
 		}
@@ -322,9 +375,11 @@ func (s *Suite) Table8() *Table {
 	for _, r := range rows {
 		var sp, dlTS, spBase, dlBase, shareBS, shareTS []float64
 		for _, b := range s.sortedBenches() {
-			mb := s.metrics(b, r.bs)
-			mt := s.metrics(b, r.ts)
-			m0 := s.metrics(b, bsNone)
+			ms, ok := s.row(b, r.bs, r.ts, bsNone)
+			if !ok {
+				continue // injured benchmark: excluded from the summary averages
+			}
+			mb, mt, m0 := ms[0], ms[1], ms[2]
 			sp = append(sp, speedup(mt, mb))
 			if mt.LoadInterlock > 0 {
 				dlTS = append(dlTS, pctDecrease(mt.LoadInterlock, mb.LoadInterlock))
@@ -367,9 +422,12 @@ func (s *Suite) Table9() *Table {
 	for ri, r := range rows {
 		var vsLA, vsBS []float64
 		for _, b := range s.sortedBenches() {
-			m := s.metrics(b, r.cfg)
-			vsLA = append(vsLA, speedup(s.metrics(b, bsLA), m))
-			vsBS = append(vsBS, speedup(s.metrics(b, bsNone), m))
+			ms, ok := s.row(b, r.cfg, bsLA, bsNone)
+			if !ok {
+				continue // injured benchmark: excluded from the summary averages
+			}
+			vsLA = append(vsLA, speedup(ms[1], ms[0]))
+			vsBS = append(vsBS, speedup(ms[2], ms[0]))
 		}
 		first := "n.a."
 		if ri > 0 {

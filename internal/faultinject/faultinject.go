@@ -1,0 +1,278 @@
+// Package faultinject provides seeded, deterministic fault-injection
+// hooks for chaos testing the experiment pipeline. Instrumented code
+// calls Hit at named sites ("core/compile", "sched/schedule",
+// "regalloc/allocate", "sim/run", "exp/cell", "verify/func"); when a plan
+// is installed and one of its rules matches, the hook injects an error,
+// a panic or a delay. With no plan installed, Hit is a single atomic
+// load — cheap enough to leave in production paths.
+//
+// Determinism: every (site, key) pair carries its own hit counter, so a
+// rule that fires "on the N-th hit of key K" fires at the same logical
+// point regardless of how many worker goroutines interleave. Probabilistic
+// rules hash (seed, site, key, hit) — no global RNG state — so two runs
+// with the same seed injure the same set of cells even under -race and
+// arbitrary scheduling.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects what a matching rule injects.
+type Mode uint8
+
+const (
+	// ModeError makes Hit return an *Error.
+	ModeError Mode = iota + 1
+	// ModePanic makes Hit panic with a *Panic value.
+	ModePanic
+	// ModeDelay makes Hit sleep for the rule's Delay, then succeed —
+	// a hung dependency rather than a failed one.
+	ModeDelay
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeError:
+		return "error"
+	case ModePanic:
+		return "panic"
+	case ModeDelay:
+		return "delay"
+	}
+	return "off"
+}
+
+// Rule matches one injection site and describes the fault to inject.
+type Rule struct {
+	// Site must equal the Hit site exactly.
+	Site string
+	// Key is a substring match on the Hit key ("" matches every key).
+	Key string
+	// Mode is the injected outcome.
+	Mode Mode
+	// OnHit, when non-zero, fires only on the N-th matching hit (1-based)
+	// of each (site, key) pair; 0 fires on every hit (unless Prob is set).
+	OnHit uint64
+	// Prob, when non-zero, fires probabilistically with this probability,
+	// decided by a deterministic hash of (plan seed, site, key, hit
+	// ordinal). Overrides OnHit.
+	Prob float64
+	// Delay is the sleep duration for ModeDelay.
+	Delay time.Duration
+}
+
+// Plan is an installed set of rules plus the per-(site, key) hit
+// counters that make firing deterministic. Safe for concurrent use.
+type Plan struct {
+	seed  uint64
+	rules []Rule
+
+	mu   sync.Mutex
+	hits map[string]uint64
+}
+
+// NewPlan builds a plan with the given seed and rules.
+func NewPlan(seed int64, rules ...Rule) *Plan {
+	return &Plan{seed: uint64(seed), rules: rules, hits: map[string]uint64{}}
+}
+
+// Error is the injected failure value, recognizable with IsInjected.
+type Error struct {
+	// Site and Key identify the hook that fired.
+	Site, Key string
+	// Hit is the (site, key) hit ordinal at which the rule fired.
+	Hit uint64
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("faultinject: injected error at %s (key %q, hit %d)", e.Site, e.Key, e.Hit)
+}
+
+// Panic is the value ModePanic panics with, recognizable with
+// IsInjectedPanic.
+type Panic struct {
+	// Site and Key identify the hook that fired.
+	Site, Key string
+	// Hit is the (site, key) hit ordinal at which the rule fired.
+	Hit uint64
+}
+
+func (p *Panic) String() string {
+	return fmt.Sprintf("faultinject: injected panic at %s (key %q, hit %d)", p.Site, p.Key, p.Hit)
+}
+
+// IsInjected reports whether err is (or wraps) an injected error.
+func IsInjected(err error) bool {
+	var e *Error
+	return errors.As(err, &e)
+}
+
+// IsInjectedPanic reports whether a recovered panic value came from
+// ModePanic.
+func IsInjectedPanic(v any) bool {
+	_, ok := v.(*Panic)
+	return ok
+}
+
+// current is the process-wide installed plan; nil means injection is off.
+var current atomic.Pointer[Plan]
+
+// Enable installs p as the active plan. Passing nil disables injection.
+func Enable(p *Plan) {
+	current.Store(p)
+}
+
+// Disable removes the active plan.
+func Disable() { current.Store(nil) }
+
+// Active reports whether a plan is installed.
+func Active() bool { return current.Load() != nil }
+
+// Hit is the injection hook: instrumented code calls it with its site
+// name and a per-invocation key (typically the function or benchmark
+// being processed). It returns an *Error, panics with a *Panic, sleeps,
+// or — in the overwhelmingly common uninstrumented case — returns nil
+// after one atomic load.
+func Hit(site, key string) error {
+	p := current.Load()
+	if p == nil {
+		return nil
+	}
+	return p.hit(site, key)
+}
+
+func (p *Plan) hit(site, key string) error {
+	var matched []*Rule
+	for i := range p.rules {
+		r := &p.rules[i]
+		if r.Site == site && strings.Contains(key, r.Key) {
+			matched = append(matched, r)
+		}
+	}
+	if len(matched) == 0 {
+		return nil
+	}
+	ck := site + "\x00" + key
+	p.mu.Lock()
+	p.hits[ck]++
+	hit := p.hits[ck]
+	p.mu.Unlock()
+	for _, r := range matched {
+		fire := true
+		switch {
+		case r.Prob > 0:
+			fire = decision(p.seed, site, key, hit) < r.Prob
+		case r.OnHit > 0:
+			fire = hit == r.OnHit
+		}
+		if !fire {
+			continue
+		}
+		switch r.Mode {
+		case ModeError:
+			return &Error{Site: site, Key: key, Hit: hit}
+		case ModePanic:
+			panic(&Panic{Site: site, Key: key, Hit: hit})
+		case ModeDelay:
+			time.Sleep(r.Delay)
+		}
+	}
+	return nil
+}
+
+// decision maps (seed, site, key, hit) to a uniform [0, 1) value with an
+// FNV/splitmix-style hash: stable across runs, independent of goroutine
+// interleaving.
+func decision(seed uint64, site, key string, hit uint64) float64 {
+	h := seed ^ 0x9e3779b97f4a7c15
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * 0x100000001b3
+		}
+		h = (h ^ 0xff) * 0x100000001b3
+	}
+	mix(site)
+	mix(key)
+	h ^= hit * 0x9e3779b97f4a7c15
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return float64(h>>11) / float64(uint64(1)<<53)
+}
+
+// ParseSpec parses a command-line fault specification into a plan.
+// Entries are separated by ';'; each entry is
+//
+//	site[|key]=mode[@hit][~prob]
+//
+// where mode is "error", "panic" or "delay:<duration>", @hit fires only
+// the N-th matching hit, and ~prob fires each hit with the given
+// probability (seeded, deterministic). Examples:
+//
+//	regalloc/allocate=error@1
+//	core/compile|tomcatv=panic
+//	exp/cell=delay:200ms
+//	sim/run=error~0.25
+func ParseSpec(seed int64, spec string) (*Plan, error) {
+	var rules []Rule
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		target, action, ok := strings.Cut(entry, "=")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: entry %q missing '='", entry)
+		}
+		var r Rule
+		r.Site, r.Key, _ = strings.Cut(target, "|")
+		if r.Site == "" {
+			return nil, fmt.Errorf("faultinject: entry %q has empty site", entry)
+		}
+		action, probS, hasProb := strings.Cut(action, "~")
+		if hasProb {
+			p, err := strconv.ParseFloat(probS, 64)
+			if err != nil || p <= 0 || p > 1 {
+				return nil, fmt.Errorf("faultinject: bad probability in %q", entry)
+			}
+			r.Prob = p
+		}
+		action, hitS, hasHit := strings.Cut(action, "@")
+		if hasHit {
+			n, err := strconv.ParseUint(hitS, 10, 64)
+			if err != nil || n == 0 {
+				return nil, fmt.Errorf("faultinject: bad hit ordinal in %q", entry)
+			}
+			r.OnHit = n
+		}
+		switch {
+		case action == "error":
+			r.Mode = ModeError
+		case action == "panic":
+			r.Mode = ModePanic
+		case strings.HasPrefix(action, "delay:"):
+			d, err := time.ParseDuration(strings.TrimPrefix(action, "delay:"))
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: bad delay in %q: %v", entry, err)
+			}
+			r.Mode = ModeDelay
+			r.Delay = d
+		default:
+			return nil, fmt.Errorf("faultinject: unknown mode %q in %q (want error, panic or delay:<dur>)", action, entry)
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("faultinject: empty spec")
+	}
+	return NewPlan(seed, rules...), nil
+}

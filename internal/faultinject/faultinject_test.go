@@ -1,0 +1,144 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDisabledHitIsNil(t *testing.T) {
+	Disable()
+	if err := Hit("core/compile", "x"); err != nil {
+		t.Fatalf("Hit with no plan: %v", err)
+	}
+	if Active() {
+		t.Fatal("Active with no plan")
+	}
+}
+
+func TestErrorOnNthHit(t *testing.T) {
+	Enable(NewPlan(1, Rule{Site: "s", Mode: ModeError, OnHit: 3}))
+	defer Disable()
+	for i := 1; i <= 5; i++ {
+		err := Hit("s", "k")
+		if (i == 3) != (err != nil) {
+			t.Fatalf("hit %d: err=%v", i, err)
+		}
+		if err != nil && !IsInjected(err) {
+			t.Fatalf("hit %d: error not recognized as injected: %v", i, err)
+		}
+	}
+}
+
+func TestPerKeyCounters(t *testing.T) {
+	Enable(NewPlan(1, Rule{Site: "s", Key: "a", Mode: ModeError, OnHit: 2}))
+	defer Disable()
+	// Interleaved keys: each key has its own counter, so "a" fires on its
+	// own second hit regardless of "b" traffic.
+	if err := Hit("s", "a"); err != nil {
+		t.Fatal("a hit 1 fired early")
+	}
+	for i := 0; i < 10; i++ {
+		if err := Hit("s", "b"); err != nil {
+			t.Fatal("key b should not match rule key a")
+		}
+	}
+	if err := Hit("s", "a"); err == nil {
+		t.Fatal("a hit 2 did not fire")
+	}
+	if err := Hit("s", "a"); err != nil {
+		t.Fatal("a hit 3 fired after OnHit")
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	Enable(NewPlan(1, Rule{Site: "s", Mode: ModePanic}))
+	defer Disable()
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("no panic")
+		}
+		if !IsInjectedPanic(v) {
+			t.Fatalf("panic value %v not recognized", v)
+		}
+	}()
+	Hit("s", "k")
+}
+
+func TestDelayMode(t *testing.T) {
+	Enable(NewPlan(1, Rule{Site: "s", Mode: ModeDelay, Delay: 30 * time.Millisecond}))
+	defer Disable()
+	start := time.Now()
+	if err := Hit("s", "k"); err != nil {
+		t.Fatalf("delay returned error: %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("delay too short: %v", d)
+	}
+}
+
+func TestSeededProbDeterministic(t *testing.T) {
+	fired := func(seed int64) []bool {
+		p := NewPlan(seed, Rule{Site: "s", Mode: ModeError, Prob: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = p.hit("s", "k") != nil
+		}
+		return out
+	}
+	a, b := fired(42), fired(42)
+	nFired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+		if a[i] {
+			nFired++
+		}
+	}
+	if nFired == 0 || nFired == len(a) {
+		t.Fatalf("prob 0.5 fired %d/%d times — not probabilistic", nFired, len(a))
+	}
+	c := fired(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical decisions")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	p, err := ParseSpec(7, "regalloc/allocate=error@1; core/compile|tomcatv=panic; exp/cell=delay:50ms; sim/run=error~0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.rules) != 4 {
+		t.Fatalf("got %d rules", len(p.rules))
+	}
+	r := p.rules[0]
+	if r.Site != "regalloc/allocate" || r.Mode != ModeError || r.OnHit != 1 {
+		t.Fatalf("rule 0: %+v", r)
+	}
+	r = p.rules[1]
+	if r.Site != "core/compile" || r.Key != "tomcatv" || r.Mode != ModePanic {
+		t.Fatalf("rule 1: %+v", r)
+	}
+	r = p.rules[2]
+	if r.Mode != ModeDelay || r.Delay != 50*time.Millisecond {
+		t.Fatalf("rule 2: %+v", r)
+	}
+	r = p.rules[3]
+	if r.Mode != ModeError || r.Prob != 0.25 {
+		t.Fatalf("rule 3: %+v", r)
+	}
+
+	for _, bad := range []string{"", "x", "s=frobnicate", "s=error@0", "s=error~2", "=error"} {
+		if _, err := ParseSpec(0, bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}

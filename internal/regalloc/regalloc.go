@@ -21,9 +21,11 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/faultinject"
 	"repro/internal/ir"
 	"repro/internal/liveness"
 	"repro/internal/obs"
+	"repro/internal/verify"
 )
 
 // Physical register numbering after allocation: integer registers occupy
@@ -61,16 +63,34 @@ type interval struct {
 	cls        ir.RegClass
 }
 
+// IsSpillScratch reports whether r is one of the reserved spill-scratch
+// physical registers.
+func IsSpillScratch(r ir.Reg) bool {
+	return (r >= intScratch0 && r < intScratch0+3) || (r >= fpScratch0 && r < fpScratch0+2)
+}
+
 // Allocate rewrites fn in place onto physical registers, inserting spill
 // code as needed, and returns a report. The function must not already be
 // allocated.
 func Allocate(fn *ir.Func) (*Report, error) {
-	return AllocateObserved(fn, nil)
+	return AllocateChecked(fn, nil, false)
 }
 
 // AllocateObserved is Allocate recording allocator counters (interval
 // count, per-bank peak pressure, spill traffic) into st. A nil st is free.
 func AllocateObserved(fn *ir.Func, st *obs.Stats) (*Report, error) {
+	return AllocateChecked(fn, st, false)
+}
+
+// AllocateChecked is AllocateObserved with optional post-condition
+// verification: no two overlapping live intervals share a physical
+// register, and the rewritten function passes the regalloc checks of
+// internal/verify (spill/restore pairing, scratch discipline, frame
+// layout).
+func AllocateChecked(fn *ir.Func, st *obs.Stats, check bool) (*Report, error) {
+	if err := faultinject.Hit("regalloc/allocate", fn.Name); err != nil {
+		return nil, err
+	}
 	if fn.Allocated {
 		return nil, fmt.Errorf("regalloc: %s already allocated", fn.Name)
 	}
@@ -201,7 +221,48 @@ func AllocateObserved(fn *ir.Func, st *obs.Stats) (*Report, error) {
 	st.Add("regalloc/spill_stores", int64(rep.Spills))
 	st.Add("regalloc/spill_restores", int64(rep.Restores))
 	st.Add("regalloc/slot_bytes", rep.SlotBytes)
+	if check {
+		if err := checkAssignment(fn.Name, intervals, assign); err != nil {
+			return nil, err
+		}
+		if err := verify.Alloc(fn, verify.AllocChecks{
+			PhysRegs:  PhysRegs,
+			IsScratch: IsSpillScratch,
+			Spills:    rep.Spills,
+			Restores:  rep.Restores,
+			Spilled:   rep.Spilled,
+		}); err != nil {
+			return nil, err
+		}
+		st.Inc("verify/checks")
+	}
 	return rep, fn.Validate()
+}
+
+// checkAssignment verifies the allocation's core invariant: no two
+// virtual registers whose live intervals overlap were assigned the same
+// physical register. Spilled virtuals (assignment 0) live in memory and
+// are exempt.
+func checkAssignment(fnName string, intervals []interval, assign []ir.Reg) error {
+	byPhys := map[ir.Reg][]*interval{}
+	for i := range intervals {
+		iv := &intervals[i]
+		if phys := assign[iv.reg]; phys != ir.NoReg {
+			byPhys[phys] = append(byPhys[phys], iv)
+		}
+	}
+	for phys, ivs := range byPhys {
+		sort.Slice(ivs, func(a, b int) bool { return ivs[a].start < ivs[b].start })
+		for i := 1; i < len(ivs); i++ {
+			prev, cur := ivs[i-1], ivs[i]
+			if cur.start < prev.end {
+				return verify.Errorf("regalloc", fnName,
+					"overlapping live ranges share p%d: r%d [%d,%d) and r%d [%d,%d)",
+					phys, prev.reg, prev.start, prev.end, cur.reg, cur.start, cur.end)
+			}
+		}
+	}
+	return nil
 }
 
 // peakPressure is the maximum number of simultaneously live intervals of

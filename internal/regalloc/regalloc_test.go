@@ -4,11 +4,13 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/faultinject"
 	"repro/internal/hlir"
 	"repro/internal/ir"
 	"repro/internal/lower"
 	"repro/internal/sim"
 	"repro/internal/unroll"
+	"repro/internal/verify"
 )
 
 // polyProgram builds a program with a long-lived set of scalar
@@ -289,4 +291,55 @@ func TestSpillSlotsDoNotAliasArrays(t *testing.T) {
 	}
 	res, m, _ := runAllocated(t, pr, a, vals)
 	checkAgainstInterp(t, pr, a, vals, res, m)
+}
+
+func TestAllocateCheckedVerifiesRealFunction(t *testing.T) {
+	p, _, _ := polyProgram(40) // beyond the FP bank: forces spill traffic
+	res, err := lower.Lower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := AllocateChecked(res.Fn, nil, true)
+	if err != nil {
+		t.Fatalf("checked allocation of a spilling function failed: %v", err)
+	}
+	if rep.Spilled == 0 {
+		t.Fatal("expected spills at 40 accumulators")
+	}
+}
+
+// Mutation: hand two overlapping intervals the same physical register and
+// confirm the assignment checker rejects it (and accepts the repaired
+// version).
+func TestCheckAssignmentRejectsOverlap(t *testing.T) {
+	ivs := []interval{
+		{reg: 1, start: 0, end: 10, cls: ir.RegInt},
+		{reg: 2, start: 5, end: 15, cls: ir.RegInt},
+	}
+	assign := []ir.Reg{0, 5, 5}
+	err := checkAssignment("f", ivs, assign)
+	if err == nil {
+		t.Fatal("checker accepted overlapping intervals on one physical register")
+	}
+	if !verify.IsVerification(err) {
+		t.Fatalf("overlap not reported as verification failure: %v", err)
+	}
+	ivs[1].start = 10 // disjoint now: sharing is legal
+	if err := checkAssignment("f", ivs, assign); err != nil {
+		t.Fatalf("checker rejected disjoint interval reuse: %v", err)
+	}
+}
+
+func TestAllocateFaultSite(t *testing.T) {
+	faultinject.Enable(faultinject.NewPlan(1,
+		faultinject.Rule{Site: "regalloc/allocate", Mode: faultinject.ModeError}))
+	defer faultinject.Disable()
+	p, _, _ := polyProgram(2)
+	res, err := lower.Lower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AllocateChecked(res.Fn, nil, false); !faultinject.IsInjected(err) {
+		t.Fatalf("expected injected error, got %v", err)
+	}
 }

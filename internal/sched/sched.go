@@ -10,6 +10,7 @@ package sched
 
 import (
 	"repro/internal/dag"
+	"repro/internal/faultinject"
 	"repro/internal/ir"
 	"repro/internal/machine"
 	"repro/internal/obs"
@@ -139,6 +140,11 @@ const PressureLimit = 20
 // heavily weighted load keeps its consumers out of the ready list while
 // independent instructions fill the latency shadow behind it.
 func Schedule(g *dag.Graph, regClass []ir.RegClass) []*ir.Instr {
+	// Schedule has no error return, so an injected fault escalates to a
+	// panic — which doubles as exercise for the engine's recover path.
+	if err := faultinject.Hit("sched/schedule", ""); err != nil {
+		panic(err)
+	}
 	n := len(g.Nodes)
 	order := make([]*ir.Instr, 0, n)
 	unscheduledPreds := make([]int, n)

@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"repro/internal/cache"
+	"repro/internal/faultinject"
 	"repro/internal/ir"
 	"repro/internal/machine"
 )
@@ -138,6 +139,9 @@ func (m *Machine) Hierarchy() *cache.Hierarchy { return m.hier }
 // EdgeCounts, when non-nil, receives per-(block,successor-index) traversal
 // counts for the profiler.
 func (m *Machine) Run(edges func(block, succIdx int)) (*Metrics, error) {
+	if err := faultinject.Hit("sim/run", m.fn.Name); err != nil {
+		return nil, err
+	}
 	met := &Metrics{}
 	maxInstrs := m.MaxInstrs
 	if maxInstrs == 0 {

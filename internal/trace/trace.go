@@ -18,6 +18,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/sched"
+	"repro/internal/verify"
 )
 
 // MaxTraceInstrs bounds the instruction count of one trace. Unbounded
@@ -183,6 +184,15 @@ func ScheduleAll(fn *ir.Func, edges profile.Edges, policy sched.Policy) (*Report
 // DAG built for a trace or singleton block records its counters (and the
 // scheduler its selection profile) into st. A nil st is free.
 func ScheduleAllObserved(fn *ir.Func, edges profile.Edges, policy sched.Policy, st *obs.Stats) (*Report, error) {
+	return ScheduleAllChecked(fn, edges, policy, st, false)
+}
+
+// ScheduleAllChecked is ScheduleAllObserved with optional invariant
+// verification: when check is set, every scheduling region's DAG is
+// re-validated (acyclicity, dependence completeness) and every emitted
+// schedule is proven a dependence- and latency-respecting permutation of
+// its region before it replaces the original code.
+func ScheduleAllChecked(fn *ir.Func, edges profile.Edges, policy sched.Policy, st *obs.Stats, check bool) (*Report, error) {
 	rep := &Report{}
 	traces := Form(fn, edges)
 	done := make(map[int]bool)
@@ -190,7 +200,7 @@ func ScheduleAllObserved(fn *ir.Func, edges profile.Edges, policy sched.Policy, 
 		if len(tr.Blocks) < 2 {
 			continue
 		}
-		if err := scheduleTrace(fn, tr, policy, rep, st); err != nil {
+		if err := scheduleTrace(fn, tr, policy, rep, st, check); err != nil {
 			return rep, err
 		}
 		for _, b := range tr.Blocks {
@@ -202,7 +212,9 @@ func ScheduleAllObserved(fn *ir.Func, edges profile.Edges, policy sched.Policy, 
 	// appended by compensation or re-splitting are already scheduled.
 	for _, tr := range traces {
 		if len(tr.Blocks) == 1 && !done[tr.Blocks[0]] {
-			ScheduleBlockObserved(fn, fn.Blocks[tr.Blocks[0]], policy, st)
+			if err := ScheduleBlockChecked(fn, fn.Blocks[tr.Blocks[0]], policy, st, check); err != nil {
+				return rep, err
+			}
 		}
 	}
 	return rep, fn.Validate()
@@ -217,17 +229,34 @@ func ScheduleBlock(fn *ir.Func, b *ir.Block, policy sched.Policy) {
 // ScheduleBlockObserved is ScheduleBlock recording DAG/scheduler counters
 // into st (nil = off).
 func ScheduleBlockObserved(fn *ir.Func, b *ir.Block, policy sched.Policy, st *obs.Stats) {
+	ScheduleBlockChecked(fn, b, policy, st, false) //nolint:errcheck // unchecked mode cannot fail
+}
+
+// ScheduleBlockChecked is ScheduleBlockObserved with optional DAG and
+// schedule verification; only verification can produce an error.
+func ScheduleBlockChecked(fn *ir.Func, b *ir.Block, policy sched.Policy, st *obs.Stats, check bool) error {
 	if len(b.Instrs) < 2 {
-		return
+		return nil
 	}
 	g := dag.Build(b.Instrs, dag.Options{Stats: st})
 	sched.AssignWeights(g, policy)
-	b.Instrs = sched.Schedule(g, fn.RegClass)
+	order := sched.Schedule(g, fn.RegClass)
+	if check {
+		if err := verify.DAG(g, fn.Name); err != nil {
+			return err
+		}
+		if err := verify.Schedule(g, order, fn.Name); err != nil {
+			return err
+		}
+		st.Inc("verify/checks")
+	}
+	b.Instrs = order
+	return nil
 }
 
 // scheduleTrace schedules one multi-block trace as a region, re-splits the
 // result into blocks and inserts join compensation code.
-func scheduleTrace(fn *ir.Func, tr Trace, policy sched.Policy, rep *Report, st *obs.Stats) error {
+func scheduleTrace(fn *ir.Func, tr Trace, policy sched.Policy, rep *Report, st *obs.Stats, check bool) error {
 	n := len(tr.Blocks)
 	inTrace := make(map[int]int, n) // block ID -> position in trace
 	for k, b := range tr.Blocks {
@@ -299,6 +328,15 @@ func scheduleTrace(fn *ir.Func, tr Trace, policy sched.Policy, rep *Report, st *
 	g := dag.Build(instrs, opts)
 	sched.AssignWeights(g, policy)
 	order := sched.Schedule(g, fn.RegClass)
+	if check {
+		if err := verify.DAG(g, fn.Name); err != nil {
+			return err
+		}
+		if err := verify.Schedule(g, order, fn.Name); err != nil {
+			return err
+		}
+		st.Inc("verify/checks")
+	}
 
 	pos := make(map[*ir.Instr]int, len(order))
 	for i, in := range order {

@@ -1,0 +1,412 @@
+// Package verify implements structural invariant checkers runnable
+// between compile phases: an IR verifier (defs-before-use, valid branch
+// targets, virtual-register hygiene), a DAG verifier (acyclicity,
+// edge-set consistency, and completeness of the register / memory /
+// locality dependences the builder must emit), a schedule verifier
+// proving an emitted schedule is a dependence- and latency-respecting
+// permutation of its input DAG, allocation post-condition checks (spill /
+// reload pairing, scratch-register discipline) and the simulation
+// checksum cross-check.
+//
+// The checkers are wired behind core.Options.Verify (and the paperbench /
+// bsched -verify flags) and are always on in the experiment-engine tests.
+// They are read-only: verification never mutates the artifact it checks,
+// so a verified pipeline produces bit-identical results to an unverified
+// one. All failures are reported as *Error, recognizable through
+// IsVerification, so harnesses can distinguish "the compiler broke an
+// invariant" from ordinary input or infrastructure errors.
+package verify
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/faultinject"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+)
+
+// Error is a verification failure: an invariant of phase output did not
+// hold. Check names the verifier ("ir", "dag", "schedule", "regalloc",
+// "sim"), Fn the function or benchmark being verified.
+type Error struct {
+	// Check is the verifier that failed.
+	Check string
+	// Fn is the function (or benchmark) under verification.
+	Fn string
+	// Err is the specific violation.
+	Err error
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("verify: %s check failed for %s: %v", e.Check, e.Fn, e.Err)
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// IsVerification reports whether err is (or wraps) a verification
+// failure.
+func IsVerification(err error) bool {
+	var v *Error
+	return errors.As(err, &v)
+}
+
+// Errorf builds a verification failure; exported so phases that own
+// private state (e.g. the register allocator's live intervals) can report
+// their own invariant violations in the common form.
+func Errorf(check, fn, format string, args ...any) *Error {
+	return &Error{Check: check, Fn: fn, Err: fmt.Errorf(format, args...)}
+}
+
+// Func verifies IR invariants of fn: the structural checks of
+// ir.Func.Validate (block identity, branch targets, operand ranges and
+// classes), register-table hygiene, and defs-before-use — no register may
+// be live into the entry block, i.e. every path from entry defines a
+// register before using it.
+func Func(fn *ir.Func) error {
+	if err := faultinject.Hit("verify/func", fn.Name); err != nil {
+		return &Error{Check: "ir", Fn: fn.Name, Err: err}
+	}
+	if err := fn.Validate(); err != nil {
+		return &Error{Check: "ir", Fn: fn.Name, Err: err}
+	}
+	if len(fn.RegClass) != fn.NumRegs {
+		return Errorf("ir", fn.Name, "register table has %d classes for %d registers", len(fn.RegClass), fn.NumRegs)
+	}
+	live := liveness.Compute(fn)
+	for r := ir.Reg(1); int(r) < fn.NumRegs; r++ {
+		if live.LiveIn[fn.Entry].Has(r) {
+			return Errorf("ir", fn.Name, "register r%d used before defined (live into entry block b%d)", r, fn.Entry)
+		}
+	}
+	return nil
+}
+
+// DAG verifies the dependence graph g built for one scheduling region of
+// fnName: edge-set consistency (Succs, Preds and the edge index agree),
+// acyclicity (every edge goes forward in original order, the builder's
+// invariant), and completeness — every register dependence (RAW, WAW,
+// WAR), every non-provably-disjoint memory pair and every locality
+// miss→hit pair must be ordered by a dependence path. The completeness
+// scan recomputes the required pairs directly from the instructions, an
+// independent O(n²) formulation of what the builder computes
+// incrementally, so a builder bug cannot hide from its own output.
+func DAG(g *dag.Graph, fnName string) error {
+	n := len(g.Nodes)
+	for i, nd := range g.Nodes {
+		if nd.Index != i {
+			return Errorf("dag", fnName, "node %d carries index %d", i, nd.Index)
+		}
+		for _, s := range nd.Succs {
+			if s.Index <= nd.Index {
+				return Errorf("dag", fnName, "edge %d->%d is not forward (cycle)", nd.Index, s.Index)
+			}
+			if !g.HasEdge(nd, s) {
+				return Errorf("dag", fnName, "succ edge %d->%d missing from edge index", nd.Index, s.Index)
+			}
+			if !containsNode(s.Preds, nd) {
+				return Errorf("dag", fnName, "edge %d->%d missing from %d's preds", nd.Index, s.Index, s.Index)
+			}
+		}
+		for _, p := range nd.Preds {
+			if p.Index >= nd.Index {
+				return Errorf("dag", fnName, "pred edge %d->%d is not forward (cycle)", p.Index, nd.Index)
+			}
+			if !g.HasEdge(p, nd) {
+				return Errorf("dag", fnName, "pred edge %d->%d missing from edge index", p.Index, nd.Index)
+			}
+			if !containsNode(p.Succs, nd) {
+				return Errorf("dag", fnName, "edge %d->%d missing from %d's succs", p.Index, nd.Index, p.Index)
+			}
+		}
+	}
+
+	// Transitive reachability over Succs: node indices are topologically
+	// ordered (checked above), so a reverse sweep completes each bitset
+	// before it is consumed.
+	words := (n + 63) / 64
+	reach := make([][]uint64, n)
+	for i := n - 1; i >= 0; i-- {
+		r := make([]uint64, words)
+		r[i/64] |= 1 << (uint(i) % 64)
+		for _, s := range g.Nodes[i].Succs {
+			sr := reach[s.Index]
+			for w := range r {
+				r[w] |= sr[w]
+			}
+		}
+		reach[i] = r
+	}
+	ordered := func(a, b int) bool {
+		return reach[a][b/64]&(1<<(uint(b)%64)) != 0
+	}
+
+	// Register dependences, recomputed pairwise.
+	var bufA, bufB [3]ir.Reg
+	for i := 0; i < n; i++ {
+		ai := g.Nodes[i].Instr
+		defI := ai.Def()
+		usesI := ai.Uses(bufA[:0])
+		for j := i + 1; j < n; j++ {
+			bj := g.Nodes[j].Instr
+			defJ := bj.Def()
+			kind := ""
+			switch {
+			case defI != ir.NoReg && containsReg(bj.Uses(bufB[:0]), defI):
+				kind = "RAW"
+			case defI != ir.NoReg && defI == defJ:
+				kind = "WAW"
+			case defJ != ir.NoReg && containsReg(usesI, defJ):
+				kind = "WAR"
+			}
+			if kind != "" && !ordered(i, j) {
+				return Errorf("dag", fnName, "missing %s dependence path %d (%v) -> %d (%v)", kind, i, ai, j, bj)
+			}
+		}
+	}
+
+	// Memory dependences: every pair the disambiguator cannot prove
+	// disjoint (except load/load) must be ordered.
+	var mems []*dag.Node
+	for _, nd := range g.Nodes {
+		if nd.Instr.Op.IsMem() {
+			mems = append(mems, nd)
+		}
+	}
+	for i, a := range mems {
+		for _, b := range mems[i+1:] {
+			if a.Instr.Op.IsLoad() && b.Instr.Op.IsLoad() {
+				continue
+			}
+			if a.Instr.Mem.Conflicts(b.Instr.Mem) && !ordered(a.Index, b.Index) {
+				return Errorf("dag", fnName, "missing memory dependence path %d (%v) -> %d (%v)", a.Index, a.Instr, b.Index, b.Instr)
+			}
+		}
+	}
+
+	// Locality ordering arcs: a predicted-hit load must stay behind the
+	// predicted-miss load of its reuse group.
+	groups := map[int][]*dag.Node{}
+	for _, nd := range g.Nodes {
+		if nd.Instr.Op.IsLoad() && nd.Instr.Mem != nil && nd.Instr.Mem.Group >= 0 {
+			groups[nd.Instr.Mem.Group] = append(groups[nd.Instr.Mem.Group], nd)
+		}
+	}
+	for _, ns := range groups {
+		for _, miss := range ns {
+			if miss.Instr.Hint != ir.HintMiss {
+				continue
+			}
+			for _, hit := range ns {
+				if hit.Instr.Hint == ir.HintHit && hit.Index > miss.Index && !ordered(miss.Index, hit.Index) {
+					return Errorf("dag", fnName, "missing locality path miss %d -> hit %d", miss.Index, hit.Index)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Schedule verifies that order — a scheduler's output for the region g —
+// is a dependence- and latency-respecting permutation of g's
+// instructions: every instruction appears exactly once, every DAG edge's
+// head issues before its tail, the weight/priority annotations are
+// internally consistent (priority = weight + max successor priority, the
+// critical-path definition), and a replay of the list scheduler's clock
+// model over the emitted order completes no earlier than the critical
+// path allows.
+func Schedule(g *dag.Graph, order []*ir.Instr, fnName string) error {
+	n := len(g.Nodes)
+	if len(order) != n {
+		return Errorf("schedule", fnName, "schedule has %d instructions, region has %d", len(order), n)
+	}
+	pos := make(map[*ir.Instr]int, n)
+	for i, in := range order {
+		if _, dup := pos[in]; dup {
+			return Errorf("schedule", fnName, "instruction %v scheduled twice", in)
+		}
+		pos[in] = i
+	}
+	maxPriority := 0
+	for _, nd := range g.Nodes {
+		p, ok := pos[nd.Instr]
+		if !ok {
+			return Errorf("schedule", fnName, "region instruction %v missing from schedule", nd.Instr)
+		}
+		if nd.Weight < 0 {
+			return Errorf("schedule", fnName, "node %d has negative weight %d", nd.Index, nd.Weight)
+		}
+		want := nd.Weight
+		for _, s := range nd.Succs {
+			if pos[s.Instr] <= p {
+				return Errorf("schedule", fnName, "dependence violated: %v (slot %d) must precede %v (slot %d)",
+					nd.Instr, p, s.Instr, pos[s.Instr])
+			}
+			if nd.Weight+s.Priority > want {
+				want = nd.Weight + s.Priority
+			}
+		}
+		if nd.Priority != want {
+			return Errorf("schedule", fnName, "node %d priority %d inconsistent with weights (critical path says %d)",
+				nd.Index, nd.Priority, want)
+		}
+		if nd.Priority > maxPriority {
+			maxPriority = nd.Priority
+		}
+	}
+
+	// Latency replay: issue the emitted order on the scheduler's virtual
+	// clock (one issue per cycle, operands ready at pred issue + weight).
+	// Any dependence-respecting order finishes no earlier than the
+	// critical path, so a shorter makespan means the latency model was
+	// violated somewhere.
+	nodeOf := make(map[*ir.Instr]*dag.Node, n)
+	for _, nd := range g.Nodes {
+		nodeOf[nd.Instr] = nd
+	}
+	readyAt := make([]int64, n)
+	var cycle, makespan int64
+	for _, in := range order {
+		nd := nodeOf[in]
+		t := cycle
+		if r := readyAt[nd.Index]; r > t {
+			t = r
+		}
+		finish := t + int64(nd.Weight)
+		if finish > makespan {
+			makespan = finish
+		}
+		for _, s := range nd.Succs {
+			if finish > readyAt[s.Index] {
+				readyAt[s.Index] = finish
+			}
+		}
+		cycle = t + 1
+	}
+	if makespan < int64(maxPriority) {
+		return Errorf("schedule", fnName, "replayed makespan %d shorter than critical path %d (latency model violated)",
+			makespan, maxPriority)
+	}
+	return nil
+}
+
+// AllocChecks parameterizes Alloc with the allocator's machine facts, so
+// this package need not import the allocator (which itself reports
+// interval-overlap violations through Errorf).
+type AllocChecks struct {
+	// PhysRegs is one past the largest physical register number.
+	PhysRegs int
+	// IsScratch reports whether r is a reserved spill-scratch register.
+	IsScratch func(r ir.Reg) bool
+	// Spills, Restores and Spilled are the allocator's reported counts of
+	// spill stores, spill restores and spilled virtual registers.
+	Spills, Restores, Spilled int
+}
+
+// Alloc verifies the post-conditions of register allocation on the
+// rewritten function: physical register numbering, spill/restore pairing
+// (every restore reads a slot some store wrote, restores target only
+// scratch registers), spill-slot layout consistent with the frame size,
+// and defs-before-use still holding on the allocated code.
+func Alloc(fn *ir.Func, c AllocChecks) error {
+	if !fn.Allocated {
+		return Errorf("regalloc", fn.Name, "function not marked allocated")
+	}
+	if fn.NumRegs != c.PhysRegs {
+		return Errorf("regalloc", fn.Name, "allocated function has %d registers, machine has %d", fn.NumRegs, c.PhysRegs)
+	}
+	if err := Func(fn); err != nil {
+		return err
+	}
+	stores, restores := 0, 0
+	storeOffs := map[int64]bool{}
+	restoreOffs := map[int64]bool{}
+	checkSlot := func(in *ir.Instr) error {
+		m := in.Mem
+		if m == nil {
+			return Errorf("regalloc", fn.Name, "spill instruction %v has no memory reference", in)
+		}
+		if m.Array < 0 || m.Array >= len(fn.Arrays) || !fn.Arrays[m.Array].Slot {
+			return Errorf("regalloc", fn.Name, "spill instruction %v does not address the spill area", in)
+		}
+		if m.Width != 8 || m.Disp%8 != 0 || m.Disp < 0 || m.Disp >= fn.FrameSize {
+			return Errorf("regalloc", fn.Name, "spill instruction %v addresses bad slot (disp %d, frame %d)", in, m.Disp, fn.FrameSize)
+		}
+		return nil
+	}
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Spill {
+			case ir.SpillStore:
+				stores++
+				if !in.Op.IsStore() {
+					return Errorf("regalloc", fn.Name, "spill store %v is not a store", in)
+				}
+				if err := checkSlot(in); err != nil {
+					return err
+				}
+				storeOffs[in.Mem.Disp] = true
+			case ir.SpillRestore:
+				restores++
+				if !in.Op.IsLoad() {
+					return Errorf("regalloc", fn.Name, "spill restore %v is not a load", in)
+				}
+				if err := checkSlot(in); err != nil {
+					return err
+				}
+				if c.IsScratch != nil && !c.IsScratch(in.Dst) {
+					return Errorf("regalloc", fn.Name, "spill restore %v targets non-scratch register r%d", in, in.Dst)
+				}
+				restoreOffs[in.Mem.Disp] = true
+			}
+		}
+	}
+	if stores != c.Spills || restores != c.Restores {
+		return Errorf("regalloc", fn.Name, "spill traffic mismatch: code has %d stores / %d restores, report says %d / %d",
+			stores, restores, c.Spills, c.Restores)
+	}
+	for off := range restoreOffs {
+		if !storeOffs[off] {
+			return Errorf("regalloc", fn.Name, "spill slot %d is restored but never stored", off)
+		}
+	}
+	slots := map[int64]bool{}
+	for off := range storeOffs {
+		slots[off] = true
+	}
+	for off := range restoreOffs {
+		slots[off] = true
+	}
+	if int64(len(slots))*8 != fn.FrameSize {
+		return Errorf("regalloc", fn.Name, "frame size %d does not match %d touched spill slots", fn.FrameSize, len(slots))
+	}
+	return nil
+}
+
+// Checksums is the simulation cross-check: the compiled configuration's
+// simulated output checksum must equal the reference interpreter's.
+func Checksums(fnName, config string, got, want uint64) error {
+	if got != want {
+		return Errorf("sim", fnName, "%s: output checksum %x, want %x (miscompilation)", config, got, want)
+	}
+	return nil
+}
+
+func containsNode(ns []*dag.Node, x *dag.Node) bool {
+	for _, n := range ns {
+		if n == x {
+			return true
+		}
+	}
+	return false
+}
+
+func containsReg(rs []ir.Reg, x ir.Reg) bool {
+	for _, r := range rs {
+		if r == x {
+			return true
+		}
+	}
+	return false
+}

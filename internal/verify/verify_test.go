@@ -1,0 +1,259 @@
+package verify_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/faultinject"
+	"repro/internal/ir"
+	"repro/internal/sched"
+	"repro/internal/verify"
+)
+
+// region builds a small scheduling region with register, memory and
+// output dependences: a constant, an address, a store, a dependent load
+// and a multiply reading the loaded value.
+func region() (*ir.Func, []*ir.Instr) {
+	fn := &ir.Func{Name: "region"}
+	r1 := fn.NewReg(ir.RegInt)
+	r2 := fn.NewReg(ir.RegInt)
+	r3 := fn.NewReg(ir.RegInt)
+	arr := fn.AddArray("a", 64)
+	mem := func() *ir.MemRef {
+		return &ir.MemRef{Array: arr, Base: 0, Disp: 0, Width: 8, Group: -1}
+	}
+	instrs := []*ir.Instr{
+		{Op: ir.OpMovi, Dst: r1, Imm: 5, Seq: 0},
+		{Op: ir.OpLdA, Dst: r2, Imm: int64(arr), Seq: 1},
+		{Op: ir.OpSt, Src: [2]ir.Reg{r1, r2}, Mem: mem(), Seq: 2},
+		{Op: ir.OpLd, Dst: r3, Src: [2]ir.Reg{r2}, Mem: mem(), Seq: 3},
+		{Op: ir.OpMul, Dst: r3, Src: [2]ir.Reg{r3, r1}, Seq: 4},
+	}
+	return fn, instrs
+}
+
+func build(t *testing.T, policy sched.Policy) (*ir.Func, *dag.Graph, []*ir.Instr) {
+	t.Helper()
+	fn, instrs := region()
+	g := dag.Build(instrs, dag.Options{})
+	sched.AssignWeights(g, policy)
+	order := sched.Schedule(g, fn.RegClass)
+	if err := verify.DAG(g, fn.Name); err != nil {
+		t.Fatalf("DAG verifier rejected builder output: %v", err)
+	}
+	if err := verify.Schedule(g, order, fn.Name); err != nil {
+		t.Fatalf("schedule verifier rejected scheduler output: %v", err)
+	}
+	return fn, g, order
+}
+
+func TestScheduleVerifierAcceptsBothSchedulers(t *testing.T) {
+	build(t, sched.Traditional)
+	build(t, sched.Balanced)
+}
+
+func slot(t *testing.T, order []*ir.Instr, seq int) int {
+	t.Helper()
+	for i, in := range order {
+		if in.Seq == seq {
+			return i
+		}
+	}
+	t.Fatalf("instruction seq %d missing from schedule", seq)
+	return -1
+}
+
+// Mutation: swapping two dependent instructions (the store and the load
+// that reads its location) must be rejected.
+func TestScheduleVerifierRejectsIllegalSwap(t *testing.T) {
+	fn, g, order := build(t, sched.Balanced)
+	i, j := slot(t, order, 2), slot(t, order, 3)
+	order[i], order[j] = order[j], order[i]
+	err := verify.Schedule(g, order, fn.Name)
+	if err == nil {
+		t.Fatal("verifier accepted an illegal reorder of dependent instructions")
+	}
+	if !verify.IsVerification(err) {
+		t.Fatalf("error not recognized as verification failure: %v", err)
+	}
+	if !strings.Contains(err.Error(), "dependence violated") {
+		t.Fatalf("unexpected rejection reason: %v", err)
+	}
+}
+
+// Mutation: shrinking a latency gap (a node's weight, without repairing
+// the critical-path priorities) must be rejected.
+func TestScheduleVerifierRejectsShrunkLatency(t *testing.T) {
+	fn, g, order := build(t, sched.Traditional)
+	mul := g.Nodes[4]
+	if mul.Weight < 2 {
+		t.Fatalf("multiply weight %d too small for a meaningful mutation", mul.Weight)
+	}
+	mul.Weight = 1
+	err := verify.Schedule(g, order, fn.Name)
+	if err == nil {
+		t.Fatal("verifier accepted a schedule with a shrunk latency gap")
+	}
+	if !strings.Contains(err.Error(), "priority") {
+		t.Fatalf("unexpected rejection reason: %v", err)
+	}
+}
+
+func TestScheduleVerifierRejectsDuplicateAndMissing(t *testing.T) {
+	fn, g, order := build(t, sched.Traditional)
+	mutated := append([]*ir.Instr(nil), order...)
+	mutated[slot(t, mutated, 0)] = order[slot(t, order, 1)]
+	if err := verify.Schedule(g, mutated, fn.Name); err == nil {
+		t.Fatal("verifier accepted a schedule with a duplicated instruction")
+	}
+	if err := verify.Schedule(g, order[:len(order)-1], fn.Name); err == nil {
+		t.Fatal("verifier accepted a truncated schedule")
+	}
+}
+
+func findEdge(t *testing.T, g *dag.Graph, a, b int) {
+	t.Helper()
+	if !g.HasEdge(g.Nodes[a], g.Nodes[b]) {
+		t.Fatalf("expected builder edge %d->%d", a, b)
+	}
+}
+
+func removeNode(ns []*dag.Node, x *dag.Node) []*dag.Node {
+	out := ns[:0]
+	for _, n := range ns {
+		if n != x {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Mutation: deleting the RAW edge from the constant (node 0) to the store
+// (node 2) leaves that register dependence unordered; the verifier's
+// independent pairwise recomputation must notice.
+func TestDAGVerifierRejectsMissingRegisterEdge(t *testing.T) {
+	fn, instrs := region()
+	g := dag.Build(instrs, dag.Options{})
+	findEdge(t, g, 0, 2)
+	g.Nodes[0].Succs = removeNode(g.Nodes[0].Succs, g.Nodes[2])
+	g.Nodes[2].Preds = removeNode(g.Nodes[2].Preds, g.Nodes[0])
+	err := verify.DAG(g, fn.Name)
+	if err == nil {
+		t.Fatal("verifier accepted a DAG missing a RAW dependence")
+	}
+	if !strings.Contains(err.Error(), "RAW") {
+		t.Fatalf("unexpected rejection reason: %v", err)
+	}
+}
+
+// Mutation: deleting the store→load memory-disambiguation edge must be
+// rejected.
+func TestDAGVerifierRejectsMissingMemoryEdge(t *testing.T) {
+	fn, instrs := region()
+	g := dag.Build(instrs, dag.Options{})
+	findEdge(t, g, 2, 3)
+	g.Nodes[2].Succs = removeNode(g.Nodes[2].Succs, g.Nodes[3])
+	g.Nodes[3].Preds = removeNode(g.Nodes[3].Preds, g.Nodes[2])
+	err := verify.DAG(g, fn.Name)
+	if err == nil {
+		t.Fatal("verifier accepted a DAG missing a memory dependence")
+	}
+	if !strings.Contains(err.Error(), "memory") {
+		t.Fatalf("unexpected rejection reason: %v", err)
+	}
+}
+
+func TestDAGVerifierRejectsBackwardEdge(t *testing.T) {
+	fn, instrs := region()
+	g := dag.Build(instrs, dag.Options{})
+	g.Nodes[4].Succs = append(g.Nodes[4].Succs, g.Nodes[3])
+	err := verify.DAG(g, fn.Name)
+	if err == nil {
+		t.Fatal("verifier accepted a cyclic DAG")
+	}
+	if !strings.Contains(err.Error(), "forward") {
+		t.Fatalf("unexpected rejection reason: %v", err)
+	}
+}
+
+func TestDAGVerifierRejectsAsymmetricEdge(t *testing.T) {
+	fn, instrs := region()
+	g := dag.Build(instrs, dag.Options{})
+	findEdge(t, g, 0, 2)
+	g.Nodes[0].Succs = removeNode(g.Nodes[0].Succs, g.Nodes[2])
+	if err := verify.DAG(g, fn.Name); err == nil {
+		t.Fatal("verifier accepted an edge present in preds but absent from succs")
+	}
+}
+
+func TestFuncVerifier(t *testing.T) {
+	fn := &ir.Func{Name: "f"}
+	r1 := fn.NewReg(ir.RegInt)
+	r2 := fn.NewReg(ir.RegInt)
+	b := fn.NewBlock()
+	fn.Entry = b.ID
+	b.Instrs = []*ir.Instr{
+		{Op: ir.OpMovi, Dst: r1, Imm: 1},
+		{Op: ir.OpMov, Dst: r2, Src: [2]ir.Reg{r1}},
+		{Op: ir.OpRet},
+	}
+	if err := verify.Func(fn); err != nil {
+		t.Fatalf("valid function rejected: %v", err)
+	}
+
+	// Use-before-def: read r2 before anything defines it.
+	b.Instrs = []*ir.Instr{
+		{Op: ir.OpMov, Dst: r1, Src: [2]ir.Reg{r2}},
+		{Op: ir.OpRet},
+	}
+	err := verify.Func(fn)
+	if err == nil {
+		t.Fatal("verifier accepted a use-before-def function")
+	}
+	if !verify.IsVerification(err) || !strings.Contains(err.Error(), "used before defined") {
+		t.Fatalf("unexpected rejection: %v", err)
+	}
+
+	// Register-table hygiene.
+	b.Instrs = []*ir.Instr{
+		{Op: ir.OpMovi, Dst: r1, Imm: 1},
+		{Op: ir.OpRet},
+	}
+	fn.RegClass = fn.RegClass[:len(fn.RegClass)-1]
+	fn.NumRegs--
+	fn.NumRegs++ // table now one short of NumRegs
+	if err := verify.Func(fn); err == nil {
+		t.Fatal("verifier accepted a truncated register-class table")
+	}
+}
+
+func TestFuncVerifierFaultSite(t *testing.T) {
+	faultinject.Enable(faultinject.NewPlan(1, faultinject.Rule{Site: "verify/func", Mode: faultinject.ModeError}))
+	defer faultinject.Disable()
+	fn := &ir.Func{Name: "f"}
+	fn.NewReg(ir.RegInt)
+	b := fn.NewBlock()
+	fn.Entry = b.ID
+	b.Instrs = []*ir.Instr{{Op: ir.OpRet}}
+	err := verify.Func(fn)
+	if err == nil {
+		t.Fatal("fault site did not fire")
+	}
+	if !verify.IsVerification(err) || !faultinject.IsInjected(err) {
+		t.Fatalf("injected verification failure not recognized: %v", err)
+	}
+}
+
+func TestChecksums(t *testing.T) {
+	if err := verify.Checksums("f", "bs", 7, 7); err != nil {
+		t.Fatalf("matching checksums rejected: %v", err)
+	}
+	err := verify.Checksums("f", "bs", 7, 8)
+	if err == nil {
+		t.Fatal("mismatching checksums accepted")
+	}
+	if !verify.IsVerification(err) {
+		t.Fatalf("checksum mismatch not a verification failure: %v", err)
+	}
+}
