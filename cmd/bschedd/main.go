@@ -1,0 +1,166 @@
+// Command bschedd is the compile-as-a-service daemon: a long-running
+// HTTP server that compiles, schedules and simulates workload benchmarks
+// on request, built on the same cell engine as paperbench.
+//
+// Usage:
+//
+//	bschedd [-addr :8344] [-queue N] [-workers N] [-deadline d] [-max-deadline d]
+//	        [-cache N] [-breaker-threshold N] [-breaker-cooldown d]
+//	        [-drain-timeout d] [-journal reqs.jsonl] [-verify]
+//	        [-faultspec spec] [-faultseed N] [-tracefile out.json] [-v]
+//
+// Endpoints:
+//
+//	POST /v1/compile  {"bench":"tomcatv","config":"BS+LU4","verify":false,"deadline_ms":2000}
+//	POST /v1/grid     {"benches":["tomcatv"],"configs":["BS","TS"],"deadline_ms":10000}
+//	GET  /healthz     liveness (200 while the process serves)
+//	GET  /readyz      readiness (503 while draining or breaker-saturated)
+//	GET  /metrics     Prometheus text: counters + queue/breaker/cache gauges
+//
+// Robustness: requests beyond -queue are shed with 429 + Retry-After;
+// every request runs under a deadline propagated through the pipeline
+// (expiry returns a structured 504 naming the phase); repeated pipeline
+// faults open a per-benchmark circuit breaker (503 until a half-open
+// probe succeeds); duplicate in-flight requests collapse to one compile
+// (singleflight) in front of an LRU result cache. On SIGTERM/SIGINT the
+// daemon drains: it stops accepting, finishes or cancels in-flight work
+// under -drain-timeout, flushes the request journal and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:]))
+}
+
+func realMain(args []string) int {
+	fs := flag.NewFlagSet("bschedd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8344", "listen address")
+	queue := fs.Int("queue", 64, "admission queue capacity (excess requests are shed with 429)")
+	workers := fs.Int("workers", 0, "max concurrently executing pipeline runs (0 = GOMAXPROCS)")
+	deadline := fs.Duration("deadline", 30*time.Second, "default per-request deadline")
+	maxDeadline := fs.Duration("max-deadline", 2*time.Minute, "ceiling on client-requested deadlines")
+	cache := fs.Int("cache", 256, "result-cache capacity (entries)")
+	brkThreshold := fs.Int("breaker-threshold", 3, "consecutive pipeline faults that open a benchmark's breaker")
+	brkCooldown := fs.Duration("breaker-cooldown", 5*time.Second, "open-breaker cooldown before a half-open probe")
+	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "grace period for in-flight work on SIGTERM/SIGINT")
+	journal := fs.String("journal", "", "append each finished request to this JSONL journal")
+	verifyFlag := fs.Bool("verify", false, "run structural invariant verifiers inside every request")
+	faultSpec := fs.String("faultspec", "", "deterministic fault-injection plan (chaos drills)")
+	faultSeed := fs.Int64("faultseed", 1, "seed for probabilistic fault-injection decisions")
+	traceFile := fs.String("tracefile", "", "write a Chrome trace-event JSON timeline of served requests at exit")
+	verbose := fs.Bool("v", false, "log request lifecycle events")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	if *faultSpec != "" {
+		plan, err := faultinject.ParseSpec(*faultSeed, *faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bschedd:", err)
+			return 1
+		}
+		faultinject.Enable(plan)
+		defer faultinject.Disable()
+	}
+
+	var tracer *obs.Tracer
+	if *traceFile != "" {
+		tracer = obs.NewTracer()
+	}
+
+	srv, err := server.New(server.Config{
+		Queue:            *queue,
+		Workers:          *workers,
+		DefaultDeadline:  *deadline,
+		MaxDeadline:      *maxDeadline,
+		CacheEntries:     *cache,
+		BreakerThreshold: *brkThreshold,
+		BreakerCooldown:  *brkCooldown,
+		Journal:          *journal,
+		Verify:           *verifyFlag,
+		Tracer:           tracer,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bschedd:", err)
+		return 1
+	}
+
+	// Listen explicitly (rather than ListenAndServe) so ":0" works and the
+	// resolved address is reportable — tests and scripts bind an ephemeral
+	// port and read it off stderr.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bschedd:", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "bschedd: serving on %s (queue %d)\n", ln.Addr(), *queue)
+	}
+
+	select {
+	case err := <-errCh:
+		// The listener died before any signal: fatal.
+		fmt.Fprintln(os.Stderr, "bschedd:", err)
+		return 1
+	case <-sigCtx.Done():
+	}
+
+	// Graceful drain: flip readiness and reject new work first, then give
+	// in-flight requests until -drain-timeout before canceling them, then
+	// close the listener. The journal is flushed before Drain returns.
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "bschedd: draining (timeout %s)\n", *drainTimeout)
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	code := 0
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "bschedd: journal:", err)
+		code = 1
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "bschedd: shutdown:", err)
+		code = 1
+	}
+	<-errCh // ListenAndServe has returned http.ErrServerClosed
+
+	if tracer != nil {
+		f, err := os.Create(*traceFile)
+		if err == nil {
+			err = tracer.Write(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bschedd: writing trace:", err)
+			code = 1
+		}
+	}
+	if *verbose {
+		fmt.Fprintln(os.Stderr, "bschedd: drained, exiting")
+	}
+	return code
+}

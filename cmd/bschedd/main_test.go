@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// The daemon's lifecycle — serve, answer, drain on SIGTERM, exit 0 — is
+// asserted end-to-end: the test binary re-execs itself with
+// BSCHEDD_BE_MAIN=1, in which case TestMain runs realMain instead of the
+// test suite.
+
+func TestMain(m *testing.M) {
+	if os.Getenv("BSCHEDD_BE_MAIN") == "1" {
+		os.Exit(realMain(os.Args[1:]))
+	}
+	os.Exit(m.Run())
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-no-such-flag"},
+		{"-faultspec", "garbage spec without equals"},
+	} {
+		cmd := exec.Command(os.Args[0], args...)
+		cmd.Env = append(os.Environ(), "BSCHEDD_BE_MAIN=1")
+		err := cmd.Run()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 1 {
+			t.Errorf("%v: err %v, want exit code 1", args, err)
+		}
+	}
+}
+
+// TestServeDrainExitsClean boots the daemon on an ephemeral port, serves
+// a compile request, then SIGTERMs it and asserts a clean drain: exit
+// code 0 and a journal holding every admitted request.
+func TestServeDrainExitsClean(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "requests.jsonl")
+	cmd := exec.Command(os.Args[0],
+		"-addr", "127.0.0.1:0", "-v", "-journal", journal, "-drain-timeout", "5s")
+	cmd.Env = append(os.Environ(), "BSCHEDD_BE_MAIN=1")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The first -v line reports the resolved listen address.
+	sc := bufio.NewScanner(stderr)
+	var addr string
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "serving on "); i >= 0 {
+			addr = strings.Fields(line[i+len("serving on "):])[0]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("daemon never reported its address: %v", sc.Err())
+	}
+	go io.Copy(io.Discard, stderr) // keep the pipe drained
+
+	base := "http://" + addr
+	resp, err := http.Post(base+"/v1/compile", "application/json",
+		bytes.NewReader([]byte(`{"bench":"tomcatv","config":"BS+LU4"}`)))
+	if err != nil {
+		t.Fatalf("compile request: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile: status %d body %s", resp.StatusCode, body)
+	}
+	hresp, err := http.Get(base + "/healthz")
+	if err != nil || hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, hresp)
+	}
+	io.Copy(io.Discard, hresp.Body)
+	hresp.Body.Close()
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("daemon exited dirty on SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("daemon did not exit within 15s of SIGTERM")
+	}
+
+	b, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatalf("journal: %v", err)
+	}
+	lines := bytes.Split(bytes.TrimSuffix(b, []byte("\n")), []byte("\n"))
+	if len(lines) != 1 {
+		t.Fatalf("journal holds %d lines, want 1:\n%s", len(lines), b)
+	}
+	var rec struct {
+		Endpoint string `json:"endpoint"`
+		Status   int    `json:"status"`
+	}
+	if err := json.Unmarshal(lines[0], &rec); err != nil {
+		t.Fatalf("torn journal line %q: %v", lines[0], err)
+	}
+	if rec.Endpoint != "compile" || rec.Status != http.StatusOK {
+		t.Errorf("journal record %+v, want compile/200", rec)
+	}
+}

@@ -44,12 +44,15 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/exp"
@@ -137,8 +140,17 @@ func realMain(args []string) int {
 		return code
 	}
 
+	// SIGINT/SIGTERM cancel the grid instead of killing the process: the
+	// engine stops in-flight cells at their next phase boundary, skips
+	// queued cells, flushes the journal, and the run exits through the
+	// degraded-grid path (code 2) with every canceled cell reported —
+	// never mid-write. A second signal kills the process the default way.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	start := time.Now()
 	opt := exp.Options{
+		Ctx:         ctx,
 		Jobs:        *jobs,
 		Tracer:      tracer,
 		Observe:     *jsonOut || *metricsFile != "",

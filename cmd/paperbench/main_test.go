@@ -2,11 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // The exit-code contract (0 clean, 1 usage/fatal, 2 degraded, 3
@@ -151,5 +153,72 @@ func TestOutFlagWritesAtomically(t *testing.T) {
 	}
 	if len(entries) != 1 {
 		t.Errorf("output dir holds %d entries, want 1 (no temp droppings)", len(entries))
+	}
+}
+
+// TestInterruptDrainsGracefully sends SIGINT to a slowed-down grid run
+// and asserts the signal cancels the run instead of killing it: the
+// process exits 2 (degraded) through the normal reporting path, the
+// canceled cells are reported on stderr, and the journal holds only
+// well-formed lines — the flush completed, nothing died mid-write.
+func TestInterruptDrainsGracefully(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "cells.jsonl")
+	cmd := exec.Command(os.Args[0],
+		"-table", "4", "-bench", "tomcatv", "-jobs", "2",
+		"-journal", journal,
+		"-faultspec", "exp/cell=delay:250ms")
+	cmd.Env = append(os.Environ(), "PAPERBENCH_BE_MAIN=1")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until at least one cell has landed in the journal so the
+	// interrupt arrives mid-grid, then signal.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if b, err := os.ReadFile(journal); err == nil && bytes.Contains(b, []byte("\n")) {
+			break
+		}
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			t.Fatal("no journal entry appeared within 10s")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+
+	err := cmd.Wait()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if code != 2 {
+		t.Fatalf("interrupted run exited %d, want 2 (degraded)\nstderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "canceled") {
+		t.Errorf("stderr does not report canceled cells:\n%s", stderr.String())
+	}
+
+	// Every journal line parses: the engine flushed cleanly on the way out.
+	b, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatalf("reading journal: %v", err)
+	}
+	lines := bytes.Split(bytes.TrimSuffix(b, []byte("\n")), []byte("\n"))
+	if len(lines) == 0 {
+		t.Fatal("journal is empty after interrupt")
+	}
+	for i, line := range lines {
+		var v map[string]any
+		if err := json.Unmarshal(line, &v); err != nil {
+			t.Errorf("journal line %d is torn: %q: %v", i, line, err)
+		}
 	}
 }

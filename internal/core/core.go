@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strconv"
@@ -46,6 +47,20 @@ type Options struct {
 	// pipeline produces bit-identical code — and any violation surfaces as
 	// a *verify.Error.
 	Verify bool
+	// Ctx, when non-nil, is consulted at every phase boundary: a canceled
+	// or expired context aborts the pipeline promptly with the context's
+	// error instead of running the remaining phases. This is how request
+	// deadlines (bschedd) and SIGINT (paperbench) cancel a compile
+	// mid-flight. A nil Ctx disables the checks.
+	Ctx context.Context
+}
+
+// err returns the context's error, or nil when no context is carried.
+func (o Options) err() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
 }
 
 // Config selects one point in the paper's experiment grid.
@@ -179,8 +194,12 @@ func CompileWithOptions(p *hlir.Program, cfg Config, data *Data, profiles *Profi
 	prog := p
 	out := &Compiled{Config: cfg}
 	// phase wraps one pipeline phase in a trace span while accumulating
-	// its wall-clock into the PhaseTimes slot d.
+	// its wall-clock into the PhaseTimes slot d. A canceled or expired
+	// Options.Ctx aborts at the boundary, before the phase body runs.
 	phase := func(name string, d *time.Duration, f func() error) error {
+		if err := opt.err(); err != nil {
+			return fmt.Errorf("core: %s canceled before %s: %w", p.Name, name, err)
+		}
 		sp := ob.Begin(name, "compile")
 		start := time.Now()
 		err := f()
@@ -189,10 +208,12 @@ func CompileWithOptions(p *hlir.Program, cfg Config, data *Data, profiles *Profi
 		return err
 	}
 	if cfg.Locality {
-		phase("locality", &out.Phases.Locality, func() error {
+		if err := phase("locality", &out.Phases.Locality, func() error {
 			prog, out.Locality = locality.Apply(prog, cfg.Unroll)
 			return nil
-		})
+		}); err != nil {
+			return nil, err
+		}
 		st.Add("locality/loops_analyzed", int64(out.Locality.LoopsAnalyzed))
 		st.Add("locality/miss_marks", int64(out.Locality.Misses))
 		st.Add("locality/hit_marks", int64(out.Locality.Hits))
@@ -200,16 +221,20 @@ func CompileWithOptions(p *hlir.Program, cfg Config, data *Data, profiles *Profi
 	if cfg.Unroll > 0 {
 		// After locality analysis, reuse loops carry NoUnroll and keep
 		// their hit/miss marks; the general unroller handles the rest.
-		phase("unroll", &out.Phases.Unroll, func() error {
+		if err := phase("unroll", &out.Phases.Unroll, func() error {
 			prog = unroll.ApplyObserved(prog, cfg.Unroll, st)
 			return nil
-		})
+		}); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.Prefetch {
-		phase("prefetch", &out.Phases.Prefetch, func() error {
+		if err := phase("prefetch", &out.Phases.Prefetch, func() error {
 			prog, out.Prefetches = prefetch.Apply(prog)
 			return nil
-		})
+		}); err != nil {
+			return nil, err
+		}
 		st.Add("prefetch/hints", int64(out.Prefetches))
 	}
 	if prog == p {
@@ -233,10 +258,12 @@ func CompileWithOptions(p *hlir.Program, cfg Config, data *Data, profiles *Profi
 		st.Inc("verify/checks")
 	}
 	if cfg.LICM {
-		phase("licm", &out.Phases.LICM, func() error {
+		if err := phase("licm", &out.Phases.LICM, func() error {
 			out.LICM = licm.Apply(res.Fn)
 			return nil
-		})
+		}); err != nil {
+			return nil, err
+		}
 		st.Add("licm/loops", int64(out.LICM.Loops))
 		st.Add("licm/hoisted", int64(out.LICM.Hoisted))
 	}

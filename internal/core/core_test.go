@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/hlir"
 	"repro/internal/sched"
@@ -198,5 +201,41 @@ func TestParseConfigRoundTrip(t *testing.T) {
 		if _, err := ParseConfig(bad); err == nil {
 			t.Errorf("ParseConfig(%q) accepted", bad)
 		}
+	}
+}
+
+// TestCompileCanceledContext asserts Options.Ctx aborts the pipeline at
+// a phase boundary: an already-dead context compiles nothing and returns
+// the context's error, while a live one compiles normally.
+func TestCompileCanceledContext(t *testing.T) {
+	p, d := smallProgram()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Config{Policy: sched.Balanced, Unroll: 4}
+	if _, err := CompileWithOptions(p, cfg, d, nil, nil, Options{Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled compile returned %v, want context.Canceled", err)
+	}
+	if _, err := CompileWithOptions(p, cfg, d, nil, nil, Options{Ctx: context.Background()}); err != nil {
+		t.Fatalf("compile with live context failed: %v", err)
+	}
+	// A nil Ctx must stay the fully unchecked fast path.
+	if _, err := CompileWithOptions(p, cfg, d, nil, nil, Options{}); err != nil {
+		t.Fatalf("compile with nil context failed: %v", err)
+	}
+}
+
+// TestCompileDeadlineNamesError asserts an expired deadline surfaces as
+// context.DeadlineExceeded wrapped with the phase it died before.
+func TestCompileDeadlineNamesError(t *testing.T) {
+	p, d := smallProgram()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	_, err := CompileWithOptions(p, Config{Policy: sched.Balanced}, d, nil, nil, Options{Ctx: ctx})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired compile returned %v, want context.DeadlineExceeded", err)
+	}
+	if !strings.Contains(err.Error(), "canceled before") {
+		t.Errorf("error %q does not name the aborted phase boundary", err)
 	}
 }

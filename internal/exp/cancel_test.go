@@ -1,0 +1,157 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/sched"
+)
+
+// TestCancelBeforeStart runs a grid whose context is already dead: every
+// cell must surface as a canceled CellError (phase "queue", no attempts
+// burned on retries) and the suite must still account for all of them.
+func TestCancelBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s, err := RunGrid([]string{"tomcatv"}, Options{Ctx: ctx, Jobs: 4})
+	var ge *GridError
+	if !errors.As(err, &ge) {
+		t.Fatalf("canceled grid returned %v, want *GridError", err)
+	}
+	if len(ge.Cells) != len(Cells()) {
+		t.Fatalf("%d cells failed, want all %d", len(ge.Cells), len(Cells()))
+	}
+	for _, ce := range ge.Cells {
+		if !ce.Canceled {
+			t.Errorf("cell %s not marked canceled: %v", ce.Config, ce)
+		}
+		if ce.Timeout {
+			t.Errorf("cell %s marked as timeout for a cancellation", ce.Config)
+		}
+		if ce.Attempts > 1 {
+			t.Errorf("cell %s retried %d times after cancellation", ce.Config, ce.Attempts)
+		}
+	}
+	c := chaosCounters(t, s)
+	if c["exp/cells_canceled"] != int64(len(Cells())) {
+		t.Errorf("exp/cells_canceled = %d, want %d", c["exp/cells_canceled"], len(Cells()))
+	}
+}
+
+// TestCancelMidRun cancels the run from the progress callback after the
+// first finished cell. In-flight cells abort at their next phase
+// boundary (cancellation is not retried), queued cells never start, the
+// journal holds one line per cell — completed and canceled alike — with
+// no torn tail, and a resumed run replays the survivors and re-runs only
+// the canceled cells.
+func TestCancelMidRun(t *testing.T) {
+	// Slow every cell a little so cancellation lands while most of the
+	// grid is still queued or in flight.
+	faultinject.Enable(faultinject.NewPlan(1, faultinject.Rule{
+		Site: "exp/cell", Mode: faultinject.ModeDelay, Delay: 30 * time.Millisecond,
+	}))
+	defer faultinject.Disable()
+
+	journal := filepath.Join(t.TempDir(), "cells.jsonl")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opt := Options{
+		Ctx: ctx, Jobs: 2, Journal: journal,
+		Progress: func(done, total int, bench, config string) {
+			if done == 1 {
+				cancel()
+			}
+		},
+	}
+	_, err := RunGrid([]string{"tomcatv"}, opt)
+	var ge *GridError
+	if !errors.As(err, &ge) {
+		t.Fatalf("mid-run cancel returned %v, want *GridError", err)
+	}
+	if len(ge.Cells) == 0 || len(ge.Cells) >= len(Cells()) {
+		t.Fatalf("%d cells failed; cancel should injure some but not all %d", len(ge.Cells), len(Cells()))
+	}
+	for _, ce := range ge.Cells {
+		if !ce.Canceled {
+			t.Errorf("cell %s failed un-canceled during a canceled run: %v", ce.Config, ce)
+		}
+	}
+
+	// The journal was flushed with every cell accounted for exactly once.
+	entries, err := readJournal(journal)
+	if err != nil {
+		t.Fatalf("reading journal: %v", err)
+	}
+	if len(entries) != len(Cells()) {
+		t.Fatalf("journal holds %d entries, want %d", len(entries), len(Cells()))
+	}
+	failed := 0
+	for _, e := range entries {
+		if e.Error != "" {
+			failed++
+		}
+	}
+	if failed != len(ge.Cells) {
+		t.Errorf("journal records %d failures, grid reported %d", failed, len(ge.Cells))
+	}
+
+	// Resume with a live context: only the canceled cells re-run.
+	faultinject.Disable()
+	s, err := RunGrid([]string{"tomcatv"}, Options{Jobs: 2, Journal: journal, Resume: true})
+	if err != nil {
+		t.Fatalf("resume after cancel failed: %v", err)
+	}
+	for _, cfg := range Cells() {
+		if _, ok := s.metrics("tomcatv", cfg); !ok {
+			t.Errorf("cell %s missing after resume", cfg.Name())
+		}
+	}
+	c := chaosCounters(t, s)
+	if want := int64(len(Cells()) - len(ge.Cells)); c["exp/cells_resumed"] != want {
+		t.Errorf("exp/cells_resumed = %d, want %d", c["exp/cells_resumed"], want)
+	}
+}
+
+// TestCellRunnerBasics exercises the serving layer's single-cell entry:
+// a healthy cell returns metrics identical to the grid's, an unknown
+// benchmark errors cleanly, and a canceled context yields a canceled
+// CellError without retry.
+func TestCellRunnerBasics(t *testing.T) {
+	cr := NewCellRunner()
+	cfg := core.Config{Policy: sched.Balanced, Unroll: 4}
+	r, err := cr.Run(context.Background(), "tomcatv", cfg, Options{Verify: true})
+	if err != nil {
+		t.Fatalf("cell run failed: %v", err)
+	}
+	if r.Metrics == nil || r.Metrics.Cycles == 0 {
+		t.Fatal("cell run produced no metrics")
+	}
+
+	s, err := RunGrid([]string{"tomcatv"}, Options{Verify: true})
+	if err != nil {
+		t.Fatalf("grid: %v", err)
+	}
+	if got, want := *r.Metrics, *s.Get("tomcatv", cfg).Metrics; got != want {
+		t.Errorf("cell runner metrics %+v differ from grid metrics %+v", got, want)
+	}
+
+	if _, err := cr.Run(context.Background(), "no-such-bench", cfg, Options{}); err == nil {
+		t.Error("unknown benchmark did not error")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = cr.Run(ctx, "tomcatv", core.Config{Policy: sched.Traditional}, Options{})
+	var ce *CellError
+	if !errors.As(err, &ce) || !ce.Canceled {
+		t.Fatalf("canceled cell returned %v, want canceled *CellError", err)
+	}
+	if ce.Attempts != 1 {
+		t.Errorf("canceled cell burned %d attempts, want 1", ce.Attempts)
+	}
+}

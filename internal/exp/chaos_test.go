@@ -143,7 +143,7 @@ func TestChaosTimeout(t *testing.T) {
 	// but race-instrumented CI and the shared front-end inflate it) and
 	// far below the injected delay, so only the delayed cell can exhaust
 	// both attempts.
-	s, err := RunGrid([]string{"tomcatv"}, Options{Jobs: 4, CellTimeout: time.Second})
+	s, err := RunGrid([]string{"tomcatv"}, Options{Jobs: 4, CellTimeout: 2 * time.Second})
 	var ge *GridError
 	if !errors.As(err, &ge) {
 		t.Fatalf("hung cell did not degrade the grid: %v", err)

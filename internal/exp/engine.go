@@ -41,6 +41,13 @@ import (
 
 // Options configures a grid run.
 type Options struct {
+	// Ctx, when non-nil, is the base context of the whole run: canceling
+	// it stops the grid promptly — in-flight cells abort at their next
+	// stage boundary (the pipeline checks it between compile phases),
+	// queued cells are not started, and every unfinished cell surfaces as
+	// a canceled CellError so the run completes degraded with its journal
+	// flushed rather than dying mid-write. Nil means context.Background().
+	Ctx context.Context
 	// Jobs bounds the number of concurrently executing cells; 0 or
 	// negative means GOMAXPROCS.
 	Jobs int
@@ -80,6 +87,13 @@ func (o Options) jobs() int {
 		return o.Jobs
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // cellSpec is one column of a grid: a configuration plus the issue
@@ -181,7 +195,7 @@ func runCell(ctx context.Context, fe *frontEnd, spec cellSpec, ob *obs.Obs, opt 
 		runtime.ReadMemStats(&mem0)
 	}
 	ph.set(phaseCompile)
-	c, err := core.CompileWithOptions(p, spec.cfg, d, profiles, ob, core.Options{Verify: opt.Verify})
+	c, err := core.CompileWithOptions(p, spec.cfg, d, profiles, ob, core.Options{Verify: opt.Verify, Ctx: ctx})
 	if err != nil {
 		return nil, fmt.Errorf("exp: %s %s: %w", fe.b.Name, spec.cfg.Name(), err)
 	}
@@ -236,22 +250,26 @@ func runCell(ctx context.Context, fe *frontEnd, spec cellSpec, ob *obs.Obs, opt 
 }
 
 // runCellOnce executes one attempt of a cell inside its own goroutine,
-// converting a panic or deadline expiry into a *CellError. The attempt
-// goroutine writes its outcome to a buffered channel, so an abandoned
-// (timed-out) attempt can still complete its send and exit when the hung
-// stage eventually returns — the goroutine outlives the deadline but
-// does not leak forever.
-func runCellOnce(fe *frontEnd, spec cellSpec, opt Options, lane int) (*cellResult, *CellError) {
-	ctx := context.Background()
+// converting a panic, deadline expiry or parent cancellation into a
+// *CellError. The attempt goroutine writes its outcome to a buffered
+// channel, so an abandoned (timed-out or canceled) attempt can still
+// complete its send and exit when the hung stage eventually returns — the
+// goroutine outlives the deadline but does not leak forever.
+func runCellOnce(parent context.Context, fe *frontEnd, spec cellSpec, opt Options, lane int) (*cellResult, *CellError) {
+	ctx := parent
 	cancel := func() {}
 	if opt.CellTimeout > 0 {
-		ctx, cancel = context.WithTimeout(ctx, opt.CellTimeout)
+		ctx, cancel = context.WithTimeout(parent, opt.CellTimeout)
 	}
 	defer cancel()
 
 	var ph phaseTracker
 	cellErr := func(err error) *CellError {
-		return &CellError{Bench: fe.b.Name, Config: spec.cfg.Name(), Phase: ph.name(), Err: err}
+		return &CellError{
+			Bench: fe.b.Name, Config: spec.cfg.Name(), Phase: ph.name(), Err: err,
+			Timeout:  errors.Is(err, context.DeadlineExceeded),
+			Canceled: errors.Is(err, context.Canceled),
+		}
 	}
 	type outcome struct {
 		r     *cellResult
@@ -285,31 +303,27 @@ func runCellOnce(fe *frontEnd, spec cellSpec, opt Options, lane int) (*cellResul
 			ce.Stack = o.stack
 			return nil, ce
 		case o.err != nil:
-			ce := cellErr(o.err)
-			if errors.Is(o.err, context.DeadlineExceeded) {
-				ce.Timeout = true
-			}
-			return nil, ce
+			return nil, cellErr(o.err)
 		default:
 			return o.r, nil
 		}
 	case <-ctx.Done():
-		ce := cellErr(ctx.Err())
-		ce.Timeout = true
-		return nil, ce
+		return nil, cellErr(ctx.Err())
 	}
 }
 
 // runCellAttempts drives a cell to completion with one bounded retry for
-// transient failures (panics and timeouts); deterministic failures —
-// compile errors, verification failures, checksum mismatches — are not
-// retried. The returned result always carries the attempt and fault
-// tallies for the engine's robustness counters.
-func runCellAttempts(fe *frontEnd, spec cellSpec, opt Options, lane int) *cellResult {
+// transient failures (panics and per-cell timeouts); deterministic
+// failures — compile errors, verification failures, checksum mismatches —
+// are not retried, and neither is any failure once the parent context is
+// dead (a canceled run or an expired request deadline would only fail the
+// same way again). The returned result always carries the attempt and
+// fault tallies for the engine's robustness counters.
+func runCellAttempts(parent context.Context, fe *frontEnd, spec cellSpec, opt Options, lane int) *cellResult {
 	const maxAttempts = 2
 	var panics, timeouts int
 	for attempt := 1; ; attempt++ {
-		r, cerr := runCellOnce(fe, spec, opt, lane)
+		r, cerr := runCellOnce(parent, fe, spec, opt, lane)
 		if cerr == nil {
 			r.attempts = attempt
 			r.panics, r.timeouts = panics, timeouts
@@ -321,7 +335,7 @@ func runCellAttempts(fe *frontEnd, spec cellSpec, opt Options, lane int) *cellRe
 		if cerr.Timeout {
 			timeouts++
 		}
-		transient := cerr.Panic != nil || cerr.Timeout
+		transient := (cerr.Panic != nil || cerr.Timeout) && parent.Err() == nil
 		if attempt >= maxAttempts || !transient {
 			cerr.Attempts = attempt
 			return &cellResult{
@@ -383,12 +397,17 @@ func runGrid(benches []workload.Benchmark, specs []cellSpec, opt Options, eng *o
 		if eng != nil {
 			eng.Add("exp/cell_panics", int64(r.panics))
 			eng.Add("exp/cell_timeouts", int64(r.timeouts))
-			eng.Add("exp/cell_retries", int64(r.attempts-1))
+			if r.attempts > 1 {
+				eng.Add("exp/cell_retries", int64(r.attempts-1))
+			}
 			if r.resumed {
 				eng.Inc("exp/cells_resumed")
 			}
 			if r.err != nil {
 				eng.Inc("exp/cell_errors")
+				if r.err.Canceled {
+					eng.Inc("exp/cells_canceled")
+				}
 				if verify.IsVerification(r.err.Err) {
 					eng.Inc("verify/failures")
 				}
@@ -439,6 +458,7 @@ func runGrid(benches []workload.Benchmark, specs []cellSpec, opt Options, eng *o
 		}
 	}()
 
+	ctx := opt.ctx()
 	results := make(chan *cellResult)
 	var wg sync.WaitGroup
 	for w := 0; w < opt.jobs(); w++ {
@@ -447,7 +467,23 @@ func runGrid(benches []workload.Benchmark, specs []cellSpec, opt Options, eng *o
 		go func(lane int) {
 			defer wg.Done()
 			for t := range tasks {
-				results <- runCellAttempts(t.fe, t.spec, opt, lane)
+				// A dead run context skips queued cells without starting
+				// them: each becomes a canceled CellError so the grid
+				// still accounts for every cell and the journal records
+				// the interruption.
+				if err := ctx.Err(); err != nil {
+					results <- &cellResult{
+						bench: t.fe.b.Name, cfg: t.spec.cfg, attempts: 1,
+						err: &CellError{
+							Bench: t.fe.b.Name, Config: t.spec.cfg.Name(),
+							Phase: "queue", Err: err, Attempts: 1,
+							Timeout:  errors.Is(err, context.DeadlineExceeded),
+							Canceled: errors.Is(err, context.Canceled),
+						},
+					}
+					continue
+				}
+				results <- runCellAttempts(ctx, t.fe, t.spec, opt, lane)
 			}
 		}(w)
 	}

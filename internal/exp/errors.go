@@ -11,7 +11,8 @@ type CellError struct {
 	// Bench and Config identify the cell.
 	Bench, Config string
 	// Phase is the pipeline stage the cell was in when it failed:
-	// "frontend", "compile", "sim" or "check".
+	// "frontend", "compile", "sim" or "check" — or "queue" for a cell the
+	// run's context died before starting.
 	Phase string
 	// Err is the failure for error-path cells (nil when the cell
 	// panicked). Verification failures satisfy verify.IsVerification;
@@ -21,8 +22,12 @@ type CellError struct {
 	Panic any
 	// Stack is the panicking goroutine's stack trace.
 	Stack string
-	// Timeout reports that the cell exceeded Options.CellTimeout.
+	// Timeout reports that the cell exceeded Options.CellTimeout or an
+	// enclosing context deadline.
 	Timeout bool
+	// Canceled reports that the cell died of run/request cancellation
+	// (Options.Ctx or a per-request context), not its own failure.
+	Canceled bool
 	// Attempts is how many times the cell was tried (transient failures —
 	// panics and timeouts — get one bounded retry).
 	Attempts int
@@ -36,6 +41,8 @@ func (e *CellError) Error() string {
 	case e.Timeout:
 		return fmt.Sprintf("exp: cell %s/%s timed out in %s (attempt %d): %v",
 			e.Bench, e.Config, e.Phase, e.Attempts, e.Err)
+	case e.Canceled:
+		return fmt.Sprintf("exp: cell %s/%s canceled in %s: %v", e.Bench, e.Config, e.Phase, e.Err)
 	default:
 		return fmt.Sprintf("exp: cell %s/%s failed in %s: %v", e.Bench, e.Config, e.Phase, e.Err)
 	}

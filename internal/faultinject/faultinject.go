@@ -69,18 +69,27 @@ type Rule struct {
 }
 
 // Plan is an installed set of rules plus the per-(site, key) hit
-// counters that make firing deterministic. Safe for concurrent use.
+// counters that make firing deterministic. Safe for concurrent use from
+// any number of goroutines — the serving layer calls Hit on every
+// request — and safe to install/replace (Enable/Disable) while hooks are
+// firing. Hit ordinals are assigned atomically per (site, key), so each
+// ordinal is observed by exactly one caller no matter how calls
+// interleave: an OnHit rule fires exactly once process-wide, and a Prob
+// rule's fired set depends only on (seed, site, key, ordinal).
 type Plan struct {
 	seed  uint64
 	rules []Rule
 
-	mu   sync.Mutex
-	hits map[string]uint64
+	// hits maps "site\x00key" to its *atomic.Uint64 ordinal counter.
+	// A sync.Map (rather than a mutex-guarded map) keeps concurrent
+	// requests hammering the same hook from serializing on one lock, and
+	// makes the zero Plan usable.
+	hits sync.Map
 }
 
 // NewPlan builds a plan with the given seed and rules.
 func NewPlan(seed int64, rules ...Rule) *Plan {
-	return &Plan{seed: uint64(seed), rules: rules, hits: map[string]uint64{}}
+	return &Plan{seed: uint64(seed), rules: rules}
 }
 
 // Error is the injected failure value, recognizable with IsInjected.
@@ -160,10 +169,11 @@ func (p *Plan) hit(site, key string) error {
 		return nil
 	}
 	ck := site + "\x00" + key
-	p.mu.Lock()
-	p.hits[ck]++
-	hit := p.hits[ck]
-	p.mu.Unlock()
+	c, ok := p.hits.Load(ck)
+	if !ok {
+		c, _ = p.hits.LoadOrStore(ck, new(atomic.Uint64))
+	}
+	hit := c.(*atomic.Uint64).Add(1)
 	for _, r := range matched {
 		fire := true
 		switch {

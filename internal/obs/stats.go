@@ -198,6 +198,57 @@ func promName(name string) string {
 	}, name)
 }
 
+// GaugeWriter emits point-in-time Prometheus gauge samples — the
+// serving layer's queue depth, breaker states and cache occupancy, which
+// are instantaneous values rather than the monotonic counters a Stats
+// registry accumulates. Each metric's "# TYPE" header is written once,
+// before its first sample; errors are sticky and surfaced by Err.
+type GaugeWriter struct {
+	w     io.Writer
+	typed map[string]bool
+	err   error
+}
+
+// NewGaugeWriter returns a writer emitting to w.
+func NewGaugeWriter(w io.Writer) *GaugeWriter {
+	return &GaugeWriter{w: w, typed: map[string]bool{}}
+}
+
+// Gauge writes one sample. name is sanitized like counter names; labels
+// (optional) are emitted in sorted order so output is deterministic.
+func (g *GaugeWriter) Gauge(name string, labels map[string]string, v int64) {
+	if g.err != nil {
+		return
+	}
+	n := promName(name)
+	if !g.typed[n] {
+		g.typed[n] = true
+		if _, err := fmt.Fprintf(g.w, "# TYPE %s gauge\n", n); err != nil {
+			g.err = err
+			return
+		}
+	}
+	lab := ""
+	if len(labels) > 0 {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%s=%q", promName(k), labels[k]))
+		}
+		lab = "{" + strings.Join(parts, ",") + "}"
+	}
+	if _, err := fmt.Fprintf(g.w, "%s%s %d\n", n, lab, v); err != nil {
+		g.err = err
+	}
+}
+
+// Err reports the first write error, if any.
+func (g *GaugeWriter) Err() error { return g.err }
+
 // WritePrometheus dumps the snapshot in the Prometheus text exposition
 // format, every metric prefixed (e.g. "paperbench_"). Counters become
 // counters; histograms expose _count/_sum/_min/_max series plus

@@ -1,0 +1,175 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states. Exported values appear in /metrics as
+// bschedd_breaker_state{bench="..."}.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func breakerStateName(s int) string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// breaker is one benchmark's circuit breaker. Repeated pipeline faults
+// (panics, injected errors, hangs) on a benchmark usually mean every
+// further request for it will burn a worker slot and fail the same way,
+// starving healthy traffic — so after threshold consecutive faults the
+// breaker opens and requests are rejected up front with a Retry-After.
+// Once the cooldown elapses the breaker half-opens: exactly one probe
+// request is let through; its success closes the breaker, its failure
+// reopens it for another cooldown. Client-caused failures (canceled or
+// expired request contexts) are not faults and never trip the breaker.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    int
+	fails    int       // consecutive faults while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+}
+
+// allow reports whether a request may proceed. When the breaker is open,
+// retryAfter is how long until the next probe slot. The caller must
+// report the request's outcome with success/failure iff allow returned
+// true.
+func (b *breaker) allow(now time.Time) (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, 0
+	case breakerOpen:
+		if wait := b.cooldown - now.Sub(b.openedAt); wait > 0 {
+			return false, wait
+		}
+		// Cooldown over: half-open, admit this request as the probe.
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true, 0
+	default: // half-open
+		if b.probing {
+			// One probe at a time; others come back after the probe's
+			// plausible round trip.
+			return false, b.cooldown
+		}
+		b.probing = true
+		return true, 0
+	}
+}
+
+// success reports a completed request; in half-open state it closes the
+// breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// failure reports a pipeline fault; it trips a closed breaker at the
+// threshold and reopens a half-open one immediately. It reports whether
+// this failure opened the breaker.
+func (b *breaker) failure(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = now
+		b.probing = false
+		return true
+	default:
+		b.fails++
+		if b.fails >= b.threshold && b.state == breakerClosed {
+			b.state = breakerOpen
+			b.openedAt = now
+			return true
+		}
+		return false
+	}
+}
+
+// cancelProbe releases a half-open probe slot without deciding the
+// breaker's fate — used when the probe request died of its own context
+// (client deadline or cancel) rather than a pipeline outcome.
+func (b *breaker) cancelProbe() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.probing = false
+	}
+}
+
+// snapshot returns the current state for /readyz and /metrics.
+func (b *breaker) snapshot() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// breakers is the per-benchmark breaker set.
+type breakers struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu sync.Mutex
+	m  map[string]*breaker
+}
+
+func newBreakers(threshold int, cooldown time.Duration) *breakers {
+	return &breakers{threshold: threshold, cooldown: cooldown, m: map[string]*breaker{}}
+}
+
+// get returns (creating if needed) the breaker for bench.
+func (bs *breakers) get(bench string) *breaker {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b := bs.m[bench]
+	if b == nil {
+		b = &breaker{threshold: bs.threshold, cooldown: bs.cooldown}
+		bs.m[bench] = b
+	}
+	return b
+}
+
+// states snapshots every known breaker's state, for /metrics and /readyz.
+func (bs *breakers) states() map[string]int {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	out := make(map[string]int, len(bs.m))
+	for name, b := range bs.m {
+		out[name] = b.snapshot()
+	}
+	return out
+}
+
+// saturated reports whether every known breaker is open — the server can
+// currently serve nothing, so /readyz goes not-ready.
+func (bs *breakers) saturated() bool {
+	states := bs.states()
+	if len(states) == 0 {
+		return false
+	}
+	for _, s := range states {
+		if s != breakerOpen {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,154 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerTripsAtThreshold walks the closed → open edge: failures
+// below the threshold keep admitting, the threshold-th consecutive
+// failure opens the breaker, and a success anywhere before it resets the
+// consecutive count.
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := &breaker{threshold: 3, cooldown: time.Minute}
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.allow(now); !ok {
+			t.Fatalf("closed breaker rejected request %d", i)
+		}
+		if b.failure(now) {
+			t.Fatalf("failure %d opened the breaker below threshold", i+1)
+		}
+	}
+	// A success resets the consecutive-failure count.
+	if ok, _ := b.allow(now); !ok {
+		t.Fatal("closed breaker rejected after 2 failures")
+	}
+	b.success()
+	for i := 0; i < 2; i++ {
+		b.allow(now)
+		if b.failure(now) {
+			t.Fatalf("failure %d after reset opened the breaker", i+1)
+		}
+	}
+	b.allow(now)
+	if !b.failure(now) {
+		t.Fatal("threshold-th consecutive failure did not open the breaker")
+	}
+	if got := b.snapshot(); got != breakerOpen {
+		t.Fatalf("state after trip = %s, want open", breakerStateName(got))
+	}
+}
+
+// TestBreakerCooldownAndProbe exercises open → half-open → closed: an
+// open breaker rejects with a shrinking Retry-After until the cooldown
+// elapses, then admits exactly one probe whose success closes it.
+func TestBreakerCooldownAndProbe(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := &breaker{threshold: 1, cooldown: 10 * time.Second}
+	b.allow(now)
+	b.failure(now)
+
+	if ok, retry := b.allow(now.Add(3 * time.Second)); ok || retry != 7*time.Second {
+		t.Fatalf("open breaker: allow = (%v, %s), want (false, 7s)", ok, retry)
+	}
+
+	// Cooldown over: the first caller is the probe, the second is not.
+	probeAt := now.Add(11 * time.Second)
+	if ok, _ := b.allow(probeAt); !ok {
+		t.Fatal("breaker did not half-open after cooldown")
+	}
+	if got := b.snapshot(); got != breakerHalfOpen {
+		t.Fatalf("state during probe = %s, want half-open", breakerStateName(got))
+	}
+	if ok, retry := b.allow(probeAt); ok {
+		t.Fatal("second request admitted while a probe is in flight")
+	} else if retry <= 0 {
+		t.Fatal("non-probe rejection carried no Retry-After")
+	}
+
+	b.success()
+	if got := b.snapshot(); got != breakerClosed {
+		t.Fatalf("state after probe success = %s, want closed", breakerStateName(got))
+	}
+	if ok, _ := b.allow(probeAt); !ok {
+		t.Fatal("closed breaker rejected after successful probe")
+	}
+}
+
+// TestBreakerProbeFailureReopens exercises half-open → open: a failed
+// probe reopens the breaker for a fresh cooldown.
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := &breaker{threshold: 1, cooldown: 10 * time.Second}
+	b.allow(now)
+	b.failure(now)
+
+	probeAt := now.Add(11 * time.Second)
+	b.allow(probeAt) // probe admitted
+	if !b.failure(probeAt) {
+		t.Fatal("probe failure did not report reopening")
+	}
+	if got := b.snapshot(); got != breakerOpen {
+		t.Fatalf("state after probe failure = %s, want open", breakerStateName(got))
+	}
+	// The cooldown restarted at the probe failure.
+	if ok, _ := b.allow(probeAt.Add(9 * time.Second)); ok {
+		t.Fatal("reopened breaker admitted before its fresh cooldown elapsed")
+	}
+	if ok, _ := b.allow(probeAt.Add(11 * time.Second)); !ok {
+		t.Fatal("reopened breaker did not half-open after its fresh cooldown")
+	}
+}
+
+// TestBreakerCancelProbe: a probe whose request died of its own context
+// releases the probe slot without deciding the breaker's fate — the next
+// caller becomes the new probe.
+func TestBreakerCancelProbe(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := &breaker{threshold: 1, cooldown: time.Second}
+	b.allow(now)
+	b.failure(now)
+
+	probeAt := now.Add(2 * time.Second)
+	b.allow(probeAt)
+	if ok, _ := b.allow(probeAt); ok {
+		t.Fatal("two probes in flight")
+	}
+	b.cancelProbe()
+	if got := b.snapshot(); got != breakerHalfOpen {
+		t.Fatalf("state after canceled probe = %s, want half-open", breakerStateName(got))
+	}
+	if ok, _ := b.allow(probeAt); !ok {
+		t.Fatal("probe slot not released after cancelProbe")
+	}
+}
+
+// TestBreakersSaturated: readiness flips only when every known breaker
+// is open.
+func TestBreakersSaturated(t *testing.T) {
+	now := time.Unix(1000, 0)
+	bs := newBreakers(1, time.Minute)
+	if bs.saturated() {
+		t.Fatal("empty breaker set reported saturated")
+	}
+	a, b := bs.get("a"), bs.get("b")
+	a.allow(now)
+	a.failure(now)
+	if bs.saturated() {
+		t.Fatal("saturated with one of two breakers open")
+	}
+	b.allow(now)
+	b.failure(now)
+	if !bs.saturated() {
+		t.Fatal("not saturated with every breaker open")
+	}
+	if st := bs.states(); st["a"] != breakerOpen || st["b"] != breakerOpen {
+		t.Fatalf("states = %v, want both open", st)
+	}
+	a.success()
+	if bs.saturated() {
+		t.Fatal("still saturated after a breaker closed")
+	}
+}
