@@ -256,6 +256,69 @@ func BenchmarkSimulator(b *testing.B) {
 	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "sim-instrs/s")
 }
 
+// BenchmarkSimulatorPooled is BenchmarkSimulator drawing its machine from
+// a sim.Pool: the zero-alloc steady state of the grid engine's hot path
+// (Reset + Run, no memory-image rebuild).
+func BenchmarkSimulatorPooled(b *testing.B) {
+	bm, err := workload.ByName("QCD2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, d := bm.Build()
+	c, err := core.Compile(p, core.Config{Policy: sched.Balanced}, d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := sim.NewPool()
+	var instrs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, _, err := pool.Get(c.Fn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		core.InitMachine(m, c.ArrayID, d)
+		met, err := m.Run(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += met.Instrs
+		pool.Put(m)
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "sim-instrs/s")
+}
+
+// BenchmarkSimulatorReference measures the original instruction-walking
+// stepper (sim.Machine.Reference), the differential-testing baseline the
+// predecoded fast core is measured against.
+func BenchmarkSimulatorReference(b *testing.B) {
+	bm, err := workload.ByName("QCD2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, d := bm.Build()
+	c, err := core.Compile(p, core.Config{Policy: sched.Balanced}, d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var instrs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := sim.New(c.Fn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Reference = true
+		core.InitMachine(m, c.ArrayID, d)
+		met, err := m.Run(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += met.Instrs
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "sim-instrs/s")
+}
+
 // BenchmarkCompileFullPipeline measures end-to-end compilation (locality,
 // unrolling, lowering, profiling, trace scheduling, allocation).
 func BenchmarkCompileFullPipeline(b *testing.B) {

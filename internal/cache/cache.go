@@ -42,42 +42,59 @@ const (
 	MSHRs = 6
 )
 
-// set is one direct-mapped or set-associative cache set with LRU
-// replacement, storing line tags.
+// set is one set-associative cache set with LRU replacement, storing
+// generation-stamped line tags (see Cache.gen).
 type set struct {
 	tags []uint64 // tags[0] is most recently used; 0 means empty
 }
 
-func (s *set) lookup(tag uint64, allocate bool) bool {
-	for i, t := range s.tags {
-		if t == tag+1 { // +1 so tag 0 is distinguishable from empty
-			copy(s.tags[1:i+1], s.tags[:i])
-			s.tags[0] = tag + 1
+// lookup searches for the stamped tag pv, refreshing it to MRU on a hit
+// and (when allocate is set) installing it as MRU — evicting the LRU way —
+// on a miss. The leading compare short-circuits the dominant case of
+// re-touching the most recently used line without any data movement.
+func (s *set) lookup(pv uint64, allocate bool) bool {
+	tags := s.tags
+	if tags[0] == pv {
+		return true
+	}
+	for i := 1; i < len(tags); i++ {
+		if tags[i] == pv {
+			copy(tags[1:i+1], tags[:i])
+			tags[0] = pv
 			return true
 		}
 	}
 	if allocate {
-		copy(s.tags[1:], s.tags[:len(s.tags)-1])
-		s.tags[0] = tag + 1
+		copy(tags[1:], tags[:len(tags)-1])
+		tags[0] = pv
 	}
 	return false
 }
 
-func (s *set) present(tag uint64) bool {
+func (s *set) present(pv uint64) bool {
 	for _, t := range s.tags {
-		if t == tag+1 {
+		if t == pv {
 			return true
 		}
 	}
 	return false
 }
 
+// genStep is the generation increment: Reset advances the stamp baked
+// into every stored tag instead of clearing the (up to half-megabyte) tag
+// arrays, making pooled-machine reuse O(1). Stamps live above bit 40, so
+// the scheme is exact for simulated addresses below 2^45 — far beyond any
+// machine image — and a wrapped stamp falls back to a real clear.
+const genStep = 1 << 40
+
 // Cache is one level of the hierarchy.
 type Cache struct {
 	name     string
-	sets     []set
+	flat     []uint64 // direct-mapped: one stamped tag per set
+	sets     []set    // set-associative levels
 	setShift uint
 	setMask  uint64
+	gen      uint64 // current generation stamp (multiple of genStep)
 
 	// Hits and Misses count lookups.
 	Hits, Misses int64
@@ -90,13 +107,24 @@ func NewCache(name string, size, assoc int) *Cache {
 	if nsets < 1 {
 		nsets = 1
 	}
-	c := &Cache{name: name, sets: make([]set, nsets)}
-	for i := range c.sets {
-		c.sets[i].tags = make([]uint64, assoc)
+	c := &Cache{name: name}
+	if assoc == 1 {
+		c.flat = make([]uint64, nsets)
+	} else {
+		c.sets = make([]set, nsets)
+		for i := range c.sets {
+			c.sets[i].tags = make([]uint64, assoc)
+		}
 	}
 	c.setShift = log2(LineSize)
 	c.setMask = uint64(nsets - 1)
 	return c
+}
+
+// stamp returns addr's line tag stamped with the current generation
+// (+1 so tag 0 is distinguishable from an empty slot).
+func (c *Cache) stamp(addr uint64) uint64 {
+	return (addr >> c.setShift) + 1 + c.gen
 }
 
 // Name returns the cache's configured name.
@@ -105,14 +133,22 @@ func (c *Cache) Name() string { return c.name }
 // Access looks addr up, allocating the line on a miss, and reports hit.
 func (c *Cache) Access(addr uint64) bool {
 	idx := (addr >> c.setShift) & c.setMask
-	tag := addr >> c.setShift
-	hit := c.sets[idx].lookup(tag, true)
-	if hit {
-		c.Hits++
-	} else {
+	pv := c.stamp(addr)
+	if c.flat != nil {
+		if c.flat[idx] == pv {
+			c.Hits++
+			return true
+		}
+		c.flat[idx] = pv
 		c.Misses++
+		return false
 	}
-	return hit
+	if c.sets[idx].lookup(pv, true) {
+		c.Hits++
+		return true
+	}
+	c.Misses++
+	return false
 }
 
 // Probe reports whether addr's line is present without updating
@@ -120,16 +156,53 @@ func (c *Cache) Access(addr uint64) bool {
 // not allocate).
 func (c *Cache) Probe(addr uint64) bool {
 	idx := (addr >> c.setShift) & c.setMask
-	return c.sets[idx].present(addr >> c.setShift)
+	if c.flat != nil {
+		return c.flat[idx] == c.stamp(addr)
+	}
+	return c.sets[idx].present(c.stamp(addr))
+}
+
+// Fill allocates addr's line (refreshing replacement state when already
+// present) without touching the demand hit/miss counters. Prefetch fills
+// go through here so Hits and Misses keep describing demand accesses
+// only; the hierarchy accounts the fill under PrefetchFills instead.
+func (c *Cache) Fill(addr uint64) {
+	idx := (addr >> c.setShift) & c.setMask
+	if c.flat != nil {
+		c.flat[idx] = c.stamp(addr)
+		return
+	}
+	c.sets[idx].lookup(c.stamp(addr), true)
+}
+
+// Reset empties the cache and zeroes its counters, for reusing a machine
+// without reallocating its hierarchy. Advancing the generation stamp
+// invalidates every stored tag in O(1); only a wrapped stamp (after ~16M
+// resets) pays for a real clear.
+func (c *Cache) Reset() {
+	c.gen += genStep
+	if c.gen == 0 {
+		if c.flat != nil {
+			clear(c.flat)
+		}
+		for i := range c.sets {
+			clear(c.sets[i].tags)
+		}
+	}
+	c.Hits, c.Misses = 0, 0
 }
 
 // Touch updates the line for addr if present (a write hit under
 // write-through: the line stays, replacement state refreshes).
 func (c *Cache) Touch(addr uint64) {
 	idx := (addr >> c.setShift) & c.setMask
-	tag := addr >> c.setShift
-	if c.sets[idx].present(tag) {
-		c.sets[idx].lookup(tag, false)
+	pv := c.stamp(addr)
+	if c.flat != nil {
+		// Direct-mapped: presence is the only replacement state.
+		return
+	}
+	if c.sets[idx].present(pv) {
+		c.sets[idx].lookup(pv, false)
 	}
 }
 
@@ -157,13 +230,19 @@ func NewTLB(n int) *TLB {
 // Access translates the page containing addr and reports whether the
 // translation was present.
 func (t *TLB) Access(addr uint64) bool {
-	hit := t.entries.lookup(addr/PageSize, true)
+	hit := t.entries.lookup(addr/PageSize+1, true)
 	if hit {
 		t.Hits++
 	} else {
 		t.Misses++
 	}
 	return hit
+}
+
+// Reset empties the TLB and zeroes its counters.
+func (t *TLB) Reset() {
+	clear(t.entries.tags)
+	t.Hits, t.Misses = 0, 0
 }
 
 // Hierarchy bundles the data-side memory system: DTLB, L1 data cache and
@@ -178,6 +257,10 @@ type Hierarchy struct {
 	L3 *Cache
 	// ITLB and DTLB are the translation buffers.
 	ITLB, DTLB *TLB
+	// PrefetchFills counts software-prefetch fills allocated into L1D.
+	// They are kept out of L1D.Hits/L1D.Misses so those counters describe
+	// demand loads only.
+	PrefetchFills int64
 }
 
 // NewHierarchy builds the default (21164-like) memory system.
@@ -190,6 +273,18 @@ func NewHierarchy() *Hierarchy {
 		ITLB: NewTLB(ITLBEntries),
 		DTLB: NewTLB(DTLBEntries),
 	}
+}
+
+// Reset empties every level and zeroes every counter, restoring the
+// hierarchy to its NewHierarchy state without reallocating.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
+	h.L3.Reset()
+	h.ITLB.Reset()
+	h.DTLB.Reset()
+	h.PrefetchFills = 0
 }
 
 // LoadLatency performs a data-side load access at addr and returns the
@@ -224,6 +319,29 @@ func (h *Hierarchy) Store(addr uint64) (stall int) {
 	h.L2.Touch(addr)
 	h.L3.Touch(addr)
 	return stall
+}
+
+// PrefetchFill performs the data-side access of a software prefetch that
+// is about to start a fill: the DTLB translates (and refills) exactly as
+// for a demand load, the line is allocated into L1D, and the lower
+// levels are probed for the fill latency. The L1D allocation is counted
+// under PrefetchFills rather than as a demand hit or miss. The caller
+// has already established that the line is not L1D-resident, so the
+// returned latency is always a miss latency (L2, L3 or memory, plus any
+// TLB refill).
+func (h *Hierarchy) PrefetchFill(addr uint64) (lat int) {
+	if !h.DTLB.Access(addr) {
+		lat += TLBMissPenalty
+	}
+	h.L1D.Fill(addr)
+	h.PrefetchFills++
+	if h.L2.Access(addr) {
+		return lat + LatL2
+	}
+	if h.L3.Access(addr) {
+		return lat + LatL3
+	}
+	return lat + LatMem
 }
 
 // FetchLatency performs an instruction fetch access at addr and returns

@@ -174,3 +174,109 @@ func TestCacheProperties(t *testing.T) {
 		t.Errorf("counter invariant violated: %v", err)
 	}
 }
+
+func TestFillAllocatesWithoutCounters(t *testing.T) {
+	c := NewCache("f", L1Size, 1)
+	c.Fill(0x2000)
+	if c.Hits != 0 || c.Misses != 0 {
+		t.Errorf("Fill moved demand counters: hits=%d misses=%d", c.Hits, c.Misses)
+	}
+	if !c.Probe(0x2000) {
+		t.Fatal("Fill did not allocate the line")
+	}
+	if !c.Access(0x2000) {
+		t.Fatal("demand access after Fill missed")
+	}
+	if c.Hits != 1 || c.Misses != 0 {
+		t.Errorf("hits=%d misses=%d after filled access, want 1/0", c.Hits, c.Misses)
+	}
+}
+
+func TestFillRefreshesReplacement(t *testing.T) {
+	// In a 2-way set, filling the LRU line must make it MRU so the next
+	// conflicting allocation evicts the other way.
+	c := NewCache("lru", 2*L1Size, 2)
+	a := uint64(0)
+	b := a + 2*L1Size/2 // same set as a in a 2-way cache of this size
+	d := b + 2*L1Size/2
+	c.Access(a) // miss, allocate: a is MRU
+	c.Access(b) // miss, allocate: b is MRU, a is LRU
+	c.Fill(a)   // refresh a to MRU without counters
+	c.Access(d) // evicts b, the LRU
+	if !c.Probe(a) {
+		t.Error("a was evicted despite Fill refresh")
+	}
+	if c.Probe(b) {
+		t.Error("b survived, so Fill did not refresh a")
+	}
+}
+
+func TestCacheAndTLBReset(t *testing.T) {
+	c := NewCache("r", L1Size, 1)
+	c.Access(0x1000)
+	c.Access(0x1000)
+	c.Reset()
+	if c.Hits != 0 || c.Misses != 0 {
+		t.Errorf("Reset left counters hits=%d misses=%d", c.Hits, c.Misses)
+	}
+	if c.Probe(0x1000) {
+		t.Error("Reset left a line resident")
+	}
+	tlb := NewTLB(ITLBEntries)
+	tlb.Access(0x1000)
+	tlb.Access(0x1000)
+	tlb.Reset()
+	if tlb.Hits != 0 || tlb.Misses != 0 {
+		t.Errorf("TLB Reset left counters hits=%d misses=%d", tlb.Hits, tlb.Misses)
+	}
+}
+
+func TestHierarchyResetMatchesFresh(t *testing.T) {
+	h := NewHierarchy()
+	for a := uint64(0); a < 4*L1Size; a += LineSize {
+		h.LoadLatency(a)
+		h.FetchLatency(a)
+		h.Store(a)
+	}
+	h.PrefetchFill(8 * L1Size)
+	h.Reset()
+	fresh := NewHierarchy()
+	// After Reset, the same access sequence must produce identical
+	// latencies and counters as on a fresh hierarchy.
+	for a := uint64(0); a < 2*L1Size; a += LineSize {
+		l1, h1 := h.LoadLatency(a)
+		l2, h2 := fresh.LoadLatency(a)
+		if l1 != l2 || h1 != h2 {
+			t.Fatalf("load at %#x: reset (%d,%v) vs fresh (%d,%v)", a, l1, h1, l2, h2)
+		}
+		if f1, f2 := h.FetchLatency(a), fresh.FetchLatency(a); f1 != f2 {
+			t.Fatalf("fetch at %#x: reset %d vs fresh %d", a, f1, f2)
+		}
+	}
+	if h.PrefetchFills != 0 && h.PrefetchFills != fresh.PrefetchFills {
+		t.Errorf("PrefetchFills = %d after Reset", h.PrefetchFills)
+	}
+}
+
+func TestPrefetchFillLatencyMatchesDemandMiss(t *testing.T) {
+	// The prefetch fill of a non-resident line must report the same
+	// latency a demand load of that line would have seen, so the fast
+	// core's timing stays bit-identical to the original demand-access
+	// formulation.
+	hPF, hLD := NewHierarchy(), NewHierarchy()
+	addrs := []uint64{0x4000, 0x4000 + L2Size, 0x4000 + L2Size + L3Size}
+	for _, a := range addrs {
+		got := hPF.PrefetchFill(a)
+		want, _ := hLD.LoadLatency(a)
+		if got != want {
+			t.Errorf("PrefetchFill(%#x) = %d, demand load = %d", a, got, want)
+		}
+	}
+	if hPF.PrefetchFills != int64(len(addrs)) {
+		t.Errorf("PrefetchFills = %d, want %d", hPF.PrefetchFills, len(addrs))
+	}
+	if hPF.L1D.Hits != 0 || hPF.L1D.Misses != 0 {
+		t.Errorf("prefetch fills polluted demand counters: hits=%d misses=%d",
+			hPF.L1D.Hits, hPF.L1D.Misses)
+	}
+}

@@ -53,6 +53,12 @@ type Options struct {
 	// deadlines (bschedd) and SIGINT (paperbench) cancel a compile
 	// mid-flight. A nil Ctx disables the checks.
 	Ctx context.Context
+	// Pool, when non-nil, supplies the simulation machine for the
+	// profiling phase (trace scheduling's execution-driven profile run)
+	// instead of allocating a fresh one. Pooled runs are bit-identical to
+	// fresh-machine runs; the experiment engine passes its per-benchmark
+	// pool here so profiling shares machines with cell execution.
+	Pool *sim.Pool
 }
 
 // err returns the context's error, or nil when no context is carried.
@@ -275,9 +281,16 @@ func CompileWithOptions(p *hlir.Program, cfg Config, data *Data, profiles *Profi
 		}
 		if edges == nil {
 			err := phase("profile", &out.Phases.Profile, func() error {
-				e, err := profile.Collect(res.Fn, func(m *sim.Machine) {
+				e, reused, err := profile.CollectPooled(res.Fn, func(m *sim.Machine) {
 					InitMachine(m, res.ArrayID, data)
-				})
+				}, opt.Pool)
+				if opt.Pool != nil {
+					if reused {
+						st.Inc("sim/machine_pool_hits")
+					} else {
+						st.Inc("sim/machine_pool_misses")
+					}
+				}
 				edges = e
 				return err
 			})
@@ -364,17 +377,37 @@ func Execute(c *Compiled, data *Data) (*sim.Metrics, uint64, error) {
 // cycle (width 1 is the paper's model; 2 and 4 explore its superscalar
 // future work).
 func ExecuteWidth(c *Compiled, data *Data, width int) (*sim.Metrics, uint64, error) {
-	m, err := sim.New(c.Fn)
+	met, sum, _, err := ExecutePooled(c, data, width, nil)
+	return met, sum, err
+}
+
+// ExecutePooled is ExecuteWidth drawing the simulation machine from pool
+// (nil behaves like ExecuteWidth): a pooled machine is rewound rather
+// than reallocated, so the hot path of the experiment grid runs without
+// rebuilding multi-megabyte memory images. reused reports whether the
+// machine came out of the pool, for the caller's pool-efficiency
+// counters. Pooled and fresh runs are bit-identical.
+func ExecutePooled(c *Compiled, data *Data, width int, pool *sim.Pool) (met *sim.Metrics, sum uint64, reused bool, err error) {
+	var m *sim.Machine
+	if pool == nil {
+		m, err = sim.New(c.Fn)
+	} else {
+		m, reused, err = pool.Get(c.Fn)
+	}
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, reused, err
 	}
 	m.IssueWidth = width
 	InitMachine(m, c.ArrayID, data)
-	met, err := m.Run(nil)
+	met, err = m.Run(nil)
 	if err != nil {
-		return nil, 0, fmt.Errorf("core: executing %s (%s): %w", c.Fn.Name, c.Config.Name(), err)
+		return nil, 0, reused, fmt.Errorf("core: executing %s (%s): %w", c.Fn.Name, c.Config.Name(), err)
 	}
-	return met, Checksum(m, c), nil
+	sum = Checksum(m, c)
+	if pool != nil {
+		pool.Put(m)
+	}
+	return met, sum, reused, nil
 }
 
 // Checksum hashes the program outputs in simulator memory, bit-compatible

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/hlir"
 	"repro/internal/sched"
+	"repro/internal/sim"
 )
 
 // TestPipelineFuzz is the repository's strongest correctness net: random
@@ -65,6 +66,67 @@ func TestPipelineFuzz(t *testing.T) {
 					t.Fatalf("trial %d %s width 4: err=%v mismatch=%v", trial, cfg.Name(), err, got4 != want)
 				}
 			}
+			// Differential check of the predecoded fast core against the
+			// original instruction-walking stepper on a rotating subset, so
+			// the whole corpus covers it without doubling every simulation.
+			if (trial+trialHash(cfg))%5 == 0 {
+				diffCores(t, trial, cfg, c, d)
+			}
+		}
+	}
+}
+
+// trialHash spreads configurations across the rotation classes of the
+// fast-vs-reference differential subset.
+func trialHash(cfg Config) int {
+	h := int(cfg.Policy)*7 + cfg.Unroll*3
+	if cfg.Trace {
+		h += 11
+	}
+	if cfg.Locality {
+		h += 5
+	}
+	if cfg.Prefetch {
+		h += 13
+	}
+	if cfg.LICM {
+		h += 17
+	}
+	return h
+}
+
+// diffCores simulates c on both the fast core and the reference stepper
+// and requires bit-identical metrics (every Metrics field, via Each) and
+// checksums.
+func diffCores(t *testing.T, trial int, cfg Config, c *Compiled, d *Data) {
+	t.Helper()
+	type outcome struct {
+		mets map[string]int64
+		sum  uint64
+	}
+	run := func(reference bool) outcome {
+		m, err := sim.New(c.Fn)
+		if err != nil {
+			t.Fatalf("trial %d %s: %v", trial, cfg.Name(), err)
+		}
+		m.Reference = reference
+		InitMachine(m, c.ArrayID, d)
+		met, err := m.Run(nil)
+		if err != nil {
+			t.Fatalf("trial %d %s (reference=%v): %v", trial, cfg.Name(), reference, err)
+		}
+		o := outcome{mets: map[string]int64{}, sum: Checksum(m, c)}
+		met.Each(func(name string, v int64) { o.mets[name] = v })
+		return o
+	}
+	fast, ref := run(false), run(true)
+	if fast.sum != ref.sum {
+		t.Fatalf("trial %d %s: fast checksum %#x, reference %#x", trial, cfg.Name(), fast.sum, ref.sum)
+	}
+	for name, v := range ref.mets {
+		if fast.mets[name] != v {
+			t.Errorf("trial %d %s: metric %s fast %d, reference %d",
+				trial, cfg.Name(), name, fast.mets[name], v)
 		}
 	}
 }

@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestFastCoreMatchesReferenceAcrossBenchmarks is the end-to-end
+// differential oracle for the predecoded fast core: every benchmark,
+// compiled under a sample of grid configurations, is simulated on both
+// the fast core and the original instruction-walking reference stepper
+// (sim.Machine.Reference), and every Metrics field (via Metrics.Each, so
+// new fields are covered automatically) plus the output checksum must be
+// bit-identical. Configurations are sampled deterministically, rotating
+// through the grid by benchmark index so the whole 17×16 product is
+// covered over the benchmark set without simulating every cell twice.
+func TestFastCoreMatchesReferenceAcrossBenchmarks(t *testing.T) {
+	benches := workload.All()
+	cells := Cells()
+	perBench := 3
+	if testing.Short() {
+		perBench = 1
+	}
+	for bi, b := range benches {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			p, d := b.Build()
+			want, err := core.Reference(p, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k < perBench; k++ {
+				cfg := cells[(bi*perBench+k*5)%len(cells)]
+				c, err := core.Compile(p, cfg, d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				width := 1
+				if k == 2 {
+					width = 4 // one wide-issue cell per benchmark
+				}
+				fastMet, fastSum := runOn(t, c, d, width, false)
+				refMet, refSum := runOn(t, c, d, width, true)
+				label := fmt.Sprintf("%s w%d", cfg.Name(), width)
+				if fastSum != refSum {
+					t.Errorf("%s: checksum fast %#x, reference %#x", label, fastSum, refSum)
+				}
+				if fastSum != want {
+					t.Errorf("%s: checksum %#x, interpreter %#x", label, fastSum, want)
+				}
+				ref := map[string]int64{}
+				refMet.Each(func(name string, v int64) { ref[name] = v })
+				fastMet.Each(func(name string, v int64) {
+					if ref[name] != v {
+						t.Errorf("%s: metric %s fast %d, reference %d", label, name, v, ref[name])
+					}
+				})
+			}
+		})
+	}
+}
+
+// runOn simulates compiled code on one core variant and returns the
+// metrics and output checksum.
+func runOn(t *testing.T, c *core.Compiled, d *core.Data, width int, reference bool) (*sim.Metrics, uint64) {
+	t.Helper()
+	m, err := sim.New(c.Fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Reference = reference
+	m.IssueWidth = width
+	core.InitMachine(m, c.ArrayID, d)
+	met, err := m.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return met, core.Checksum(m, c)
+}

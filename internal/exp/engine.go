@@ -129,6 +129,7 @@ type frontEnd struct {
 	d        *core.Data
 	want     uint64
 	profiles *core.ProfileCache
+	pool     *sim.Pool
 	err      error
 }
 
@@ -140,6 +141,7 @@ func (f *frontEnd) get(ob *obs.Obs) (*hlir.Program, *core.Data, uint64, *core.Pr
 		defer sp.End()
 		f.p, f.d = f.b.Build()
 		f.profiles = core.NewProfileCache()
+		f.pool = sim.NewPool()
 		f.want, f.err = core.Reference(f.p, f.d)
 		if f.err != nil {
 			f.err = fmt.Errorf("exp: %s reference: %w", f.b.Name, f.err)
@@ -195,7 +197,7 @@ func runCell(ctx context.Context, fe *frontEnd, spec cellSpec, ob *obs.Obs, opt 
 		runtime.ReadMemStats(&mem0)
 	}
 	ph.set(phaseCompile)
-	c, err := core.CompileWithOptions(p, spec.cfg, d, profiles, ob, core.Options{Verify: opt.Verify, Ctx: ctx})
+	c, err := core.CompileWithOptions(p, spec.cfg, d, profiles, ob, core.Options{Verify: opt.Verify, Ctx: ctx, Pool: fe.pool})
 	if err != nil {
 		return nil, fmt.Errorf("exp: %s %s: %w", fe.b.Name, spec.cfg.Name(), err)
 	}
@@ -217,9 +219,16 @@ func runCell(ctx context.Context, fe *frontEnd, spec cellSpec, ob *obs.Obs, opt 
 		ph.set(phaseSim)
 		simSpan := ob.Begin("sim", "sim").Arg("width", strconv.Itoa(w))
 		start := time.Now()
-		met, got, err := core.ExecuteWidth(c, d, w)
+		met, got, reused, err := core.ExecutePooled(c, d, w, fe.pool)
 		out.phases.Sim += time.Since(start)
 		simSpan.End()
+		if st != nil {
+			if reused {
+				st.Inc("sim/machine_pool_hits")
+			} else {
+				st.Inc("sim/machine_pool_misses")
+			}
+		}
 		if err != nil {
 			return nil, fmt.Errorf("exp: %s %s w%d: %w", fe.b.Name, spec.cfg.Name(), w, err)
 		}

@@ -33,19 +33,42 @@ func (e Edges) BestSucc(fn *ir.Func, b int) int {
 // returns the edge counts. Block frequencies (entry counts) are stored
 // into fn.Blocks[i].Freq as a side effect, ready for trace formation.
 func Collect(fn *ir.Func, init func(m *sim.Machine)) (Edges, error) {
-	m, err := sim.New(fn)
+	e, _, err := CollectPooled(fn, init, nil)
+	return e, err
+}
+
+// CollectPooled is Collect drawing its simulation machine from pool so
+// the profiling run reuses an existing memory image instead of
+// allocating one (a nil pool behaves exactly like Collect). reused
+// reports whether the machine came out of the pool, for the caller's
+// pool-efficiency counters.
+func CollectPooled(fn *ir.Func, init func(m *sim.Machine), pool *sim.Pool) (edges Edges, reused bool, err error) {
+	var m *sim.Machine
+	if pool == nil {
+		m, err = sim.New(fn)
+	} else {
+		m, reused, err = pool.Get(fn)
+	}
 	if err != nil {
-		return nil, err
+		return nil, reused, err
 	}
 	if init != nil {
 		init(m)
 	}
-	edges := Edges{}
-	if _, err := m.Run(func(b, si int) { edges[[2]int{b, si}]++ }); err != nil {
-		return nil, err
+	edges = Edges{}
+	_, err = m.Run(func(b, si int) { edges[[2]int{b, si}]++ })
+	if pool != nil {
+		// Trace scheduling rewrites the profiled function in place after
+		// this returns, so the machine's predecoded stream must not be
+		// trusted against the same pointer again.
+		m.Invalidate()
+		pool.Put(m)
+	}
+	if err != nil {
+		return nil, reused, err
 	}
 	Annotate(fn, edges)
-	return edges, nil
+	return edges, reused, nil
 }
 
 // Annotate stores block entry counts computed from edges into Block.Freq.

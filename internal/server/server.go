@@ -690,6 +690,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gw.Gauge(s.cfg.MetricsPrefix+"workers_busy", nil, int64(len(s.work)))
 	gw.Gauge(s.cfg.MetricsPrefix+"cache_entries", nil, int64(s.cache.len()))
 	gw.Gauge(s.cfg.MetricsPrefix+"draining", nil, draining)
+	poolHits, poolMisses := sim.PoolCounters()
+	gw.Gauge(s.cfg.MetricsPrefix+"machine_pool_hits", nil, poolHits)
+	gw.Gauge(s.cfg.MetricsPrefix+"machine_pool_misses", nil, poolMisses)
 	for bench, st := range s.brk.states() {
 		gw.Gauge(s.cfg.MetricsPrefix+"breaker_state", map[string]string{"bench": bench}, int64(st))
 	}

@@ -42,6 +42,12 @@ type Metrics struct {
 	// Prefetches counts executed software prefetch hints; Prefetches
 	// dropped for want of a free miss register are counted too.
 	Prefetches int64
+	// PrefetchFills counts the prefetch hints that actually started a
+	// cache fill — the rest were dropped (line already resident or in
+	// flight, no free miss register, or a bad address). Fills are
+	// accounted under the hierarchy's dedicated prefetch counter, so the
+	// L1D hit/miss counters keep describing demand loads only.
+	PrefetchFills int64
 	// Loads and L1DHits count data-cache behaviour observed by loads.
 	Loads, L1DHits int64
 }
@@ -84,6 +90,7 @@ func (m *Metrics) Add(o *Metrics) {
 	m.Branches += o.Branches
 	m.Mispredicts += o.Mispredicts
 	m.Prefetches += o.Prefetches
+	m.PrefetchFills += o.PrefetchFills
 	m.Loads += o.Loads
 	m.L1DHits += o.L1DHits
 }
@@ -110,6 +117,7 @@ func (m *Metrics) Each(f func(name string, v int64)) {
 	f("branches", m.Branches)
 	f("mispredicts", m.Mispredicts)
 	f("prefetches", m.Prefetches)
+	f("prefetch_fills", m.PrefetchFills)
 	f("loads", m.Loads)
 	f("l1d_hits", m.L1DHits)
 }

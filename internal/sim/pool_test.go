@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestPoolReuseBitIdentical(t *testing.T) {
+	const n = 1024
+	fSum, fBr := buildSum(n), buildBranchy(n)
+
+	baseline := func(fn *ir.Func, init func(*Machine)) *runOutcome {
+		m, err := New(fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if init != nil {
+			init(m)
+		}
+		return observe(t, m)
+	}
+	wantSum := baseline(fSum, initRamp(0, n))
+	wantBr := baseline(fBr, initLCG(0, n))
+
+	p := NewPool()
+	for round := 0; round < 3; round++ {
+		for _, k := range []struct {
+			fn   *ir.Func
+			init func(*Machine)
+			want *runOutcome
+		}{
+			{fSum, initRamp(0, n), wantSum},
+			{fBr, initLCG(0, n), wantBr},
+		} {
+			m, _, err := p.Get(k.fn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k.init(m)
+			diffOutcomes(t, observe(t, m), k.want)
+			p.Put(m)
+		}
+	}
+	hits, misses := p.Counters()
+	if misses != 1 {
+		t.Errorf("misses = %d, want 1 (one machine serves every run)", misses)
+	}
+	if hits != 5 {
+		t.Errorf("hits = %d, want 5", hits)
+	}
+}
+
+func TestPoolCountersGlobal(t *testing.T) {
+	h0, m0 := PoolCounters()
+	p := NewPool()
+	f := buildSum(64)
+	m, reused, err := p.Get(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused {
+		t.Error("first Get reported reuse")
+	}
+	p.Put(m)
+	m, reused, err = p.Get(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reused {
+		t.Error("second Get did not reuse")
+	}
+	p.Put(m)
+	h1, m1 := PoolCounters()
+	if h1-h0 != 1 || m1-m0 != 1 {
+		t.Errorf("global counters moved by (%d,%d), want (1,1)", h1-h0, m1-m0)
+	}
+}
+
+func TestPoolPutNilAndCap(t *testing.T) {
+	p := NewPool()
+	p.Put(nil) // must not panic
+	f := buildSum(16)
+	ms := make([]*Machine, maxPoolFree+4)
+	for i := range ms {
+		m, _, err := p.Get(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms[i] = m
+	}
+	for _, m := range ms {
+		p.Put(m)
+	}
+	if got := len(p.free); got != maxPoolFree {
+		t.Errorf("pool holds %d machines, want cap %d", got, maxPoolFree)
+	}
+}
+
+func TestPoolConcurrent(t *testing.T) {
+	const n = 256
+	f := buildSum(n)
+	m0, err := New(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initRamp(0, n)(m0)
+	want, err := m0.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := NewPool()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				m, _, err := p.Get(f)
+				if err != nil {
+					errs <- err
+					return
+				}
+				initRamp(0, n)(m)
+				met, err := m.Run(nil)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if *met != *want {
+					t.Errorf("pooled run metrics diverged: %v vs %v", met, want)
+				}
+				p.Put(m)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestInvalidateForcesReinit covers the profiler's hazard: a function
+// mutated in place after a run must not be replayed from the stale
+// predecoded stream when the same pointer comes back through Reset.
+func TestInvalidateForcesReinit(t *testing.T) {
+	const n = 512
+	f := buildSum(n)
+	m, err := New(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initRamp(0, n)(m)
+	if _, err := m.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	m.Invalidate()
+	m.Reset(f)
+	if m.fn != f || len(m.dec) == 0 {
+		t.Fatal("Reset after Invalidate did not re-initialise")
+	}
+	initRamp(0, n)(m)
+	got := observe(t, m)
+	fresh, err := New(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initRamp(0, n)(fresh)
+	diffOutcomes(t, got, observe(t, fresh))
+}

@@ -7,6 +7,15 @@
 // and memory carry real values) and accounts every stall cycle as either a
 // load interlock or a fixed-latency interlock — the paper's key metric
 // split.
+//
+// Two steppers share the machine model. The default is the predecoded
+// fast core (decode.go): New decodes each instruction once into a flat
+// []decoded slice that Run walks with an integer PC — no map lookups, no
+// pointer-chasing into ir.Instr, no per-step closures, and zero heap
+// allocations per instruction in steady state. The original
+// *ir.Instr-walking stepper (reference.go) stays available behind the
+// Reference option; the two produce bit-identical metrics, memory images
+// and hierarchy counters, which the differential tests enforce.
 package sim
 
 import (
@@ -17,7 +26,6 @@ import (
 	"repro/internal/cache"
 	"repro/internal/faultinject"
 	"repro/internal/ir"
-	"repro/internal/machine"
 )
 
 // predictorBits sizes the bimodal branch predictor (2^11 two-bit counters).
@@ -25,6 +33,8 @@ const predictorBits = 11
 
 // Machine is a simulation instance for one ir.Func. Create it with New,
 // initialise array contents through ArrayBase/Memory, then call Run.
+// After a run the machine can be rewound for another function (or the
+// same one) with Reset instead of being reallocated.
 type Machine struct {
 	fn   *ir.Func
 	hier *cache.Hierarchy
@@ -39,7 +49,21 @@ type Machine struct {
 	isLoad []bool  // producer of the register's pending value was a load
 
 	predictor []uint8
-	codeAddr  map[*ir.Instr]uint64
+
+	// Predecoded program (decode.go): the flat instruction stream and its
+	// per-block index, rebuilt whenever the machine is pointed at a new
+	// function.
+	dec    []decoded
+	blocks []decBlock
+
+	// codeAddr is the reference stepper's instruction-address map, built
+	// lazily on the first reference run (the fast core carries the
+	// precomputed address in each decoded entry instead).
+	codeAddr map[*ir.Instr]uint64
+
+	// lastFetchLine is the I-cache line of the previous instruction fetch:
+	// fetches that stay on it skip the hierarchy walk (see runFast).
+	lastFetchLine uint64
 
 	// outstanding misses in the lockup-free data cache
 	missLine []uint64
@@ -55,6 +79,10 @@ type Machine struct {
 	// functional-unit limits are reached (memory and floating-point
 	// pipes are half the width, as on the 21164).
 	IssueWidth int
+	// Reference selects the original *ir.Instr-walking stepper instead of
+	// the predecoded fast core, for differential testing. Both produce
+	// bit-identical metrics and memory images.
+	Reference bool
 
 	issuedThisCycle int
 	memThisCycle    int
@@ -70,41 +98,118 @@ func New(fn *ir.Func) (*Machine, error) {
 		return nil, err
 	}
 	m := &Machine{
-		fn:        fn,
 		hier:      cache.NewHierarchy(),
 		predictor: make([]uint8, 1<<predictorBits),
+		// The miss registers never exceed MSHRs entries (loadAccess evicts
+		// at the bound, prefetch drops at it), so sizing to the bound once
+		// keeps the hot loop allocation-free.
+		missDone: make([]int64, 0, cache.MSHRs),
+		missLine: make([]uint64, 0, cache.MSHRs),
 	}
+	m.init(fn)
+	return m, nil
+}
+
+// init points the machine at fn: array layout, register file sizing and
+// predecoding. Existing slices are reused when large enough. The caller
+// guarantees fn is valid (New validates; Reset documents the contract).
+func (m *Machine) init(fn *ir.Func) {
+	m.fn = fn
 	const guard = 4 * cache.LineSize
 	// Leave a null page so address 0 stays out of use, and start data on
 	// a fresh page.
 	addr := uint64(cache.PageSize)
-	m.arrayBase = make([]uint64, len(fn.Arrays))
+	if cap(m.arrayBase) < len(fn.Arrays) {
+		m.arrayBase = make([]uint64, len(fn.Arrays))
+	}
+	m.arrayBase = m.arrayBase[:len(fn.Arrays)]
 	for i, a := range fn.Arrays {
 		m.arrayBase[i] = addr
 		sz := (a.Size + cache.LineSize - 1) / cache.LineSize * cache.LineSize
 		addr += uint64(sz) + guard
 	}
-	m.mem = make([]byte, addr)
+	if uint64(cap(m.mem)) >= addr {
+		m.mem = m.mem[:addr]
+		clear(m.mem)
+	} else {
+		m.mem = make([]byte, addr)
+	}
 
 	n := fn.NumRegs
 	if n < 65 {
 		n = 65 // physical register space after allocation
 	}
-	m.intRegs = make([]int64, n)
-	m.fpRegs = make([]float64, n)
-	m.ready = make([]int64, n)
-	m.isLoad = make([]bool, n)
+	m.intRegs = growI64(m.intRegs, n)
+	m.fpRegs = growF64(m.fpRegs, n)
+	m.ready = growI64(m.ready, n)
+	m.isLoad = growBool(m.isLoad, n)
 
-	// Lay code out at instruction addresses for the I-side models.
-	m.codeAddr = make(map[*ir.Instr]uint64, fn.NumInstrs())
-	code := uint64(64 * cache.PageSize) // code segment far from data
-	for _, b := range fn.Blocks {
-		for _, in := range b.Instrs {
-			m.codeAddr[in] = code
-			code += machine.InstrBytes
-		}
+	m.decode()
+	m.codeAddr = nil // rebuilt lazily if the reference stepper runs
+}
+
+// Reset rewinds the machine for a fresh run of fn, reusing the memory
+// image, register file, predictor, hierarchy and decoded stream instead
+// of reallocating them; when fn is the machine's current function the
+// predecoded stream is kept as-is. The caller must pass a valid function
+// (one that fn.Validate accepts — e.g. pipeline output, which New already
+// validated on the pool's first build); Reset does not re-validate.
+// MaxInstrs, IssueWidth and Reference revert to their defaults.
+func (m *Machine) Reset(fn *ir.Func) {
+	if fn != m.fn {
+		m.init(fn)
+	} else {
+		clear(m.mem)
+		clear(m.intRegs)
+		clear(m.fpRegs)
+		clear(m.ready)
+		clear(m.isLoad)
 	}
-	return m, nil
+	clear(m.predictor)
+	m.hier.Reset()
+	m.missDone = m.missDone[:0]
+	m.missLine = m.missLine[:0]
+	m.MaxInstrs, m.IssueWidth, m.Reference = 0, 0, false
+	m.issuedThisCycle, m.memThisCycle, m.fpThisCycle = 0, 0, 0
+}
+
+// Invalidate marks the machine's cached per-function state (the
+// predecoded stream) stale, forcing the next Reset to fully
+// re-initialise even when handed the same *ir.Func pointer. Callers
+// whose function is mutated in place after the run must call this before
+// returning the machine to a Pool — the profiler does, because trace
+// scheduling rewrites the profiled function — otherwise a later pooled
+// run on the same pointer would replay the pre-mutation code. The
+// machine cannot Run again until Reset.
+func (m *Machine) Invalidate() { m.fn = nil }
+
+// growI64 returns a zeroed int64 slice of length n, reusing s's storage
+// when it is large enough.
+func growI64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
 }
 
 // ArrayBase returns the simulated base address of array id.
@@ -151,220 +256,32 @@ func (m *Machine) Run(edges func(block, succIdx int)) (*Metrics, error) {
 		m.IssueWidth = 1
 	}
 	m.issuedThisCycle, m.memThisCycle, m.fpThisCycle = 0, 0, 0
-	var cycle int64
-	bid := m.fn.Entry
-	for {
-		blk := m.fn.Blocks[bid]
-		taken := false
-		done := false
-		for _, in := range blk.Instrs {
-			if met.Instrs >= maxInstrs {
-				return met, fmt.Errorf("sim: %s exceeded %d instructions (infinite loop?)", m.fn.Name, maxInstrs)
-			}
-			c, t, d, err := m.step(in, cycle, met)
-			if err != nil {
-				return met, err
-			}
-			cycle = c
-			if t || d {
-				taken, done = t, d
-				break
-			}
-		}
-		met.Cycles = cycle
-		if done {
-			return met, nil
-		}
-		var next int
-		switch {
-		case len(blk.Succs) == 0:
-			return met, fmt.Errorf("sim: %s b%d has no successor and no ret", m.fn.Name, bid)
-		case taken:
-			next = blk.Succs[0]
-			if edges != nil {
-				edges(bid, 0)
-			}
-		case blk.Term() != nil && blk.Term().Op.IsCondBranch():
-			next = blk.Succs[1]
-			if edges != nil {
-				edges(bid, 1)
-			}
-		default:
-			next = blk.Succs[0]
-			if edges != nil {
-				edges(bid, 0)
-			}
-		}
-		bid = next
+	if m.Reference {
+		return m.runReference(met, edges, maxInstrs)
 	}
+	return m.runFast(met, edges, maxInstrs)
 }
 
-// step executes one instruction starting at the given cycle and returns
-// the cycle after issue, whether a branch was taken, and whether the
-// function returned.
-func (m *Machine) step(in *ir.Instr, cycle int64, met *Metrics) (int64, bool, bool, error) {
-	// Instruction fetch: I-TLB and I-cache.
-	if fs := m.hier.FetchLatency(m.codeAddr[in]); fs > 0 {
-		met.FetchStall += int64(fs)
-		cycle += int64(fs)
-		m.newCycle()
-	}
-
-	// Register interlocks: wait for sources (and destination, covering
-	// write-after-write on a pending load and the read of Dst by
-	// conditional moves).
-	stallUntil := cycle
-	stallOnLoad := false
-	consider := func(r ir.Reg) {
-		if r == ir.NoReg {
-			return
-		}
-		if t := m.ready[r]; t > stallUntil {
-			stallUntil = t
-			stallOnLoad = m.isLoad[r]
-		} else if t == stallUntil && t > cycle && m.isLoad[r] {
-			stallOnLoad = true
-		}
-	}
-	consider(in.Src[0])
-	consider(in.Src[1])
-	consider(in.Dst)
-	if stallUntil > cycle {
-		d := stallUntil - cycle
-		if stallOnLoad {
-			met.LoadInterlock += d
-		} else {
-			met.FixedInterlock += d
-		}
-		cycle = stallUntil
-		m.newCycle()
-	}
-
-	issue := cycle
-	cycle = m.advanceIssue(in, cycle)
-
-	met.Instrs++
-	met.ByClass[ir.ClassOf(in.Op)]++
-	switch in.Spill {
-	case ir.SpillStore:
-		met.SpillStores++
-	case ir.SpillRestore:
-		met.SpillRestores++
-	}
-
-	switch {
-	case in.Op == ir.OpPrefetch:
-		met.Prefetches++
-		if addr, err := m.effAddr(in); err == nil {
-			// Non-faulting: a bad address simply drops the hint. A hint
-			// with no free miss register is dropped too, rather than
-			// stalling the pipe.
-			m.prefetch(addr, issue)
-		}
-		return cycle, false, false, nil
-
-	case in.Op.IsLoad():
-		addr, err := m.effAddr(in)
-		if err != nil {
-			return cycle, false, false, err
-		}
-		lat, l1hit, mshr := m.loadAccess(addr, issue)
-		met.Loads++
-		if l1hit {
-			met.L1DHits++
-		}
-		if mshr > 0 {
-			// All miss registers busy: the load stalls at issue until
-			// one frees. This is load-induced, so it counts as load
-			// interlock.
-			met.LoadInterlock += mshr
-			met.MSHRStall += mshr
-			cycle += mshr
-			issue += mshr
-			m.newCycle()
-		}
-		var v int64
-		if addr+8 <= uint64(len(m.mem)) {
-			v = int64(binary.LittleEndian.Uint64(m.mem[addr:]))
-		}
-		if in.Op == ir.OpLdF {
-			m.fpRegs[in.Dst] = math.Float64frombits(uint64(v))
-		} else {
-			m.intRegs[in.Dst] = v
-		}
-		m.ready[in.Dst] = issue + int64(lat)
-		m.isLoad[in.Dst] = true
-		return cycle, false, false, nil
-
-	case in.Op.IsStore():
-		addr, err := m.effAddr(in)
-		if err != nil {
-			return cycle, false, false, err
-		}
-		if st := m.hier.Store(addr); st > 0 {
-			met.StoreStall += int64(st)
-			cycle += int64(st)
-			m.newCycle()
-		}
-		if addr+8 <= uint64(len(m.mem)) {
-			var bits uint64
-			if in.Op == ir.OpStF {
-				bits = math.Float64bits(m.fpRegs[in.Src[0]])
-			} else {
-				bits = uint64(m.intRegs[in.Src[0]])
-			}
-			binary.LittleEndian.PutUint64(m.mem[addr:], bits)
-		}
-		return cycle, false, false, nil
-
-	case in.Op.IsBranch():
-		if in.Op == ir.OpRet {
-			return cycle, false, true, nil
-		}
-		taken := true
-		if in.Op.IsCondBranch() {
-			taken = condTaken(in.Op, m.intRegs[in.Src[0]])
-			met.Branches++
-			if m.predict(in) != taken {
-				met.Mispredicts++
-				met.BranchStall += machine.MispredictPenalty
-				cycle += machine.MispredictPenalty
-				m.newCycle()
-			}
-			m.train(in, taken)
-		}
-		return cycle, taken, false, nil
-
-	default:
-		m.exec(in)
-		if in.Dst != ir.NoReg {
-			m.ready[in.Dst] = issue + int64(machine.Latency(in.Op))
-			m.isLoad[in.Dst] = false
-		}
-		return cycle, false, false, nil
-	}
-}
-
-// advanceIssue accounts one instruction against the current issue group
+// advanceIssueAt accounts one instruction against the current issue group
 // and returns the cycle at which the *next* instruction may issue. At
 // width 1 every instruction starts a new cycle (the paper's model); at
 // wider widths instructions share cycles until the group fills, a
 // functional-unit class saturates, or a branch ends the group.
-func (m *Machine) advanceIssue(in *ir.Instr, cycle int64) int64 {
+func (m *Machine) advanceIssueAt(isMem, isFP, isBranch bool, cycle int64) int64 {
 	w := m.IssueWidth
 	if w <= 1 {
 		return cycle + 1
 	}
 	half := (w + 1) / 2
-	if in.Op.IsMem() {
+	if isMem {
 		m.memThisCycle++
 	}
-	if cls := ir.ClassOf(in.Op); cls == ir.ClassFPShort || cls == ir.ClassFPLong {
+	if isFP {
 		m.fpThisCycle++
 	}
 	m.issuedThisCycle++
 	if m.issuedThisCycle >= w || m.memThisCycle >= half ||
-		m.fpThisCycle >= half || in.Op.IsBranch() {
+		m.fpThisCycle >= half || isBranch {
 		m.issuedThisCycle, m.memThisCycle, m.fpThisCycle = 0, 0, 0
 		return cycle + 1
 	}
@@ -443,30 +360,41 @@ func (m *Machine) loadAccess(addr uint64, issue int64) (lat int, l1hit bool, msh
 // prefetch starts a cache fill for addr without blocking: on an L1 hit
 // nothing happens; on a miss with a free miss register the fill is
 // registered so later demand loads to the line complete with it; with all
-// miss registers busy the hint is dropped.
-func (m *Machine) prefetch(addr uint64, issue int64) {
+// miss registers busy the hint is dropped. It reports whether a fill was
+// actually started. Completed miss registers are compacted away first so
+// the register file stays within its MSHRs bound (stale entries are
+// invisible to every check, so compacting here changes no outcome).
+func (m *Machine) prefetch(addr uint64, issue int64) bool {
 	line := addr / cache.LineSize
-	pending := 0
+	live := m.missDone[:0]
+	liveLines := m.missLine[:0]
+	inFlight := false
 	for i, done := range m.missDone {
 		if done > issue {
-			pending++
+			live = append(live, done)
+			liveLines = append(liveLines, m.missLine[i])
 			if m.missLine[i] == line {
-				return // already in flight
+				inFlight = true
 			}
 		}
 	}
+	m.missDone, m.missLine = live, liveLines
+	if inFlight {
+		return false // already in flight
+	}
 	if m.hier.L1D.Probe(addr) {
-		return // already resident
+		return false // already resident
 	}
-	if pending >= cache.MSHRs {
-		return // dropped: no free miss register
+	if len(m.missDone) >= cache.MSHRs {
+		return false // dropped: no free miss register
 	}
-	lat, l1hit := m.hier.LoadLatency(addr)
-	if l1hit {
-		return
-	}
+	// The line is not resident (Probe above), so this is always a fill
+	// from L2 or below; it is accounted as a prefetch fill, not a demand
+	// miss, keeping the L1D hit/miss counters meaningful for loads.
+	lat := m.hier.PrefetchFill(addr)
 	m.missDone = append(m.missDone, issue+int64(lat))
 	m.missLine = append(m.missLine, line)
+	return true
 }
 
 // effAddr computes the effective address of a memory instruction.
@@ -490,104 +418,6 @@ func (m *Machine) effAddr(in *ir.Instr) (uint64, error) {
 	return uint64(a), nil
 }
 
-// exec evaluates a register-only instruction.
-func (m *Machine) exec(in *ir.Instr) {
-	ints := m.intRegs
-	fps := m.fpRegs
-	src1 := func() int64 {
-		if in.UseImm {
-			return in.Imm
-		}
-		return ints[in.Src[1]]
-	}
-	b2i := func(b bool) int64 {
-		if b {
-			return 1
-		}
-		return 0
-	}
-	switch in.Op {
-	case ir.OpMovi:
-		ints[in.Dst] = in.Imm
-	case ir.OpMov:
-		ints[in.Dst] = ints[in.Src[0]]
-	case ir.OpAdd:
-		ints[in.Dst] = ints[in.Src[0]] + src1()
-	case ir.OpSub:
-		ints[in.Dst] = ints[in.Src[0]] - src1()
-	case ir.OpMul:
-		ints[in.Dst] = ints[in.Src[0]] * src1()
-	case ir.OpAnd:
-		ints[in.Dst] = ints[in.Src[0]] & src1()
-	case ir.OpOr:
-		ints[in.Dst] = ints[in.Src[0]] | src1()
-	case ir.OpXor:
-		ints[in.Dst] = ints[in.Src[0]] ^ src1()
-	case ir.OpSll:
-		ints[in.Dst] = ints[in.Src[0]] << uint(src1()&63)
-	case ir.OpSrl:
-		ints[in.Dst] = int64(uint64(ints[in.Src[0]]) >> uint(src1()&63))
-	case ir.OpSra:
-		ints[in.Dst] = ints[in.Src[0]] >> uint(src1()&63)
-	case ir.OpCmpEq:
-		ints[in.Dst] = b2i(ints[in.Src[0]] == src1())
-	case ir.OpCmpLt:
-		ints[in.Dst] = b2i(ints[in.Src[0]] < src1())
-	case ir.OpCmpLe:
-		ints[in.Dst] = b2i(ints[in.Src[0]] <= src1())
-	case ir.OpS4Add:
-		ints[in.Dst] = ints[in.Src[0]]*4 + ints[in.Src[1]]
-	case ir.OpS8Add:
-		ints[in.Dst] = ints[in.Src[0]]*8 + ints[in.Src[1]]
-	case ir.OpLdA:
-		ints[in.Dst] = int64(m.arrayBase[in.Imm])
-	case ir.OpCmovEq:
-		if ints[in.Src[0]] == 0 {
-			ints[in.Dst] = ints[in.Src[1]]
-		}
-	case ir.OpCmovNe:
-		if ints[in.Src[0]] != 0 {
-			ints[in.Dst] = ints[in.Src[1]]
-		}
-	case ir.OpFMovi:
-		fps[in.Dst] = in.FImm
-	case ir.OpFMov:
-		fps[in.Dst] = fps[in.Src[0]]
-	case ir.OpFAdd:
-		fps[in.Dst] = fps[in.Src[0]] + fps[in.Src[1]]
-	case ir.OpFSub:
-		fps[in.Dst] = fps[in.Src[0]] - fps[in.Src[1]]
-	case ir.OpFMul:
-		fps[in.Dst] = fps[in.Src[0]] * fps[in.Src[1]]
-	case ir.OpFDiv:
-		fps[in.Dst] = fps[in.Src[0]] / fps[in.Src[1]]
-	case ir.OpFSqrt:
-		fps[in.Dst] = math.Sqrt(fps[in.Src[0]])
-	case ir.OpFNeg:
-		fps[in.Dst] = -fps[in.Src[0]]
-	case ir.OpFAbs:
-		fps[in.Dst] = math.Abs(fps[in.Src[0]])
-	case ir.OpFCmpEq:
-		ints[in.Dst] = b2i(fps[in.Src[0]] == fps[in.Src[1]])
-	case ir.OpFCmpLt:
-		ints[in.Dst] = b2i(fps[in.Src[0]] < fps[in.Src[1]])
-	case ir.OpFCmpLe:
-		ints[in.Dst] = b2i(fps[in.Src[0]] <= fps[in.Src[1]])
-	case ir.OpCvtIF:
-		fps[in.Dst] = float64(ints[in.Src[0]])
-	case ir.OpCvtFI:
-		ints[in.Dst] = int64(fps[in.Src[0]])
-	case ir.OpFCmovEq:
-		if ints[in.Src[0]] == 0 {
-			fps[in.Dst] = fps[in.Src[1]]
-		}
-	case ir.OpFCmovNe:
-		if ints[in.Src[0]] != 0 {
-			fps[in.Dst] = fps[in.Src[1]]
-		}
-	}
-}
-
 func condTaken(op ir.Op, v int64) bool {
 	switch op {
 	case ir.OpBeq:
@@ -604,25 +434,4 @@ func condTaken(op ir.Op, v int64) bool {
 		return v >= 0
 	}
 	return true
-}
-
-func (m *Machine) predictorIndex(in *ir.Instr) uint64 {
-	return (m.codeAddr[in] / machine.InstrBytes) & (1<<predictorBits - 1)
-}
-
-func (m *Machine) predict(in *ir.Instr) bool {
-	return m.predictor[m.predictorIndex(in)] >= 2
-}
-
-func (m *Machine) train(in *ir.Instr, taken bool) {
-	i := m.predictorIndex(in)
-	c := m.predictor[i]
-	if taken {
-		if c < 3 {
-			c++
-		}
-	} else if c > 0 {
-		c--
-	}
-	m.predictor[i] = c
 }

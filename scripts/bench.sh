@@ -1,0 +1,48 @@
+#!/usr/bin/env sh
+# bench.sh runs the performance-tracking benchmark set (simulator cores,
+# grid engine, scheduler kernels) and writes the parsed results as JSON,
+# one object per benchmark line, so runs can be diffed across commits.
+#
+# Environment:
+#   COUNT     repetitions per benchmark (default 3)
+#   BENCHTIME go test -benchtime value (default the Go default, 1s;
+#             CI's bench-smoke uses 1x for a fast existence check)
+#   OUT       output JSON path (default BENCH_5.json in the repo root)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-3}"
+BENCHTIME="${BENCHTIME:-}"
+OUT="${OUT:-BENCH_5.json}"
+
+ARGS="-run ^$ -bench Simulator|GridEngine|ListSchedule|BalancedWeights -benchmem -count=$COUNT"
+if [ -n "$BENCHTIME" ]; then
+  ARGS="$ARGS -benchtime=$BENCHTIME"
+fi
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+# shellcheck disable=SC2086
+go test $ARGS . | tee "$RAW"
+
+awk '
+BEGIN { print "[" ; first = 1 }
+/^Benchmark/ {
+  if (!first) printf ",\n"
+  first = 0
+  printf "  {\"name\": \"%s\", \"iterations\": %s", $1, $2
+  # Remaining fields come in (value, unit) pairs: ns/op, custom metrics,
+  # B/op, allocs/op.
+  for (i = 3; i + 1 <= NF; i += 2) {
+    unit = $(i + 1)
+    gsub(/[\\"]/, "", unit)
+    printf ", \"%s\": %s", unit, $i
+  }
+  printf "}"
+}
+END { print "\n]" }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
