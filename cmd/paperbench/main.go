@@ -57,6 +57,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/faultinject"
+	"repro/internal/hlirgen"
 	"repro/internal/obs"
 	"repro/internal/verify"
 )
@@ -78,6 +79,8 @@ func realMain(args []string) int {
 	table := fs.Int("table", 0, "print only table N (1-9); 0 = all")
 	benchList := fs.String("bench", "", "comma-separated benchmark subset (default: all 17)")
 	ext := fs.Bool("ext", false, "also run the extension experiments (E1 superscalar, E2 policies, E3 prefetching)")
+	genN := fs.Int("gen", 0, "run the reduced grid over N generated programs (internal/hlirgen) and print per-stratum statistics instead of the paper tables")
+	genSeed := fs.Uint64("genseed", 1, "corpus seed for -gen; the same (N, seed) reproduces the same corpus and table byte for byte")
 	jobs := fs.Int("jobs", 0, "max concurrently executing grid cells (0 = GOMAXPROCS)")
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON (per-cell metrics, phase timings + counters) instead of tables")
 	verbose := fs.Bool("v", false, "print live per-cell progress")
@@ -164,6 +167,14 @@ func realMain(args []string) int {
 			fmt.Fprintf(os.Stderr, "[%6.1fs] %3d/%d %s %s\n",
 				time.Since(start).Seconds(), done, total, bench, config)
 		}
+	}
+
+	if *genN > 0 {
+		if *jsonOut || *ext || *table != 0 || *benchList != "" {
+			fmt.Fprintln(os.Stderr, "paperbench: -gen is a statistics mode; it cannot combine with -json, -ext, -table or -bench")
+			return 1
+		}
+		return commit(runGenerated(w, *genN, *genSeed, opt, *verbose, start))
 	}
 
 	if *ext && *table == 0 {
@@ -254,6 +265,35 @@ func realMain(args []string) int {
 		t.Write(w)
 	}
 	return commit(code)
+}
+
+// runGenerated is the -gen statistics mode: mint a seeded corpus, run
+// the reduced five-configuration grid over it, and print the per-stratum
+// balanced-vs-list speedup table. The output is deterministic in
+// (n, seed) — the corpus-reproducibility contract the docs promise.
+func runGenerated(w io.Writer, n int, seed uint64, opt exp.Options, verbose bool, start time.Time) int {
+	items, err := hlirgen.Corpus(seed, n)
+	if err != nil {
+		return fail(err)
+	}
+	if verbose {
+		fmt.Fprintf(os.Stderr, "[%6.1fs] generated %d programs (seed %d)\n",
+			time.Since(start).Seconds(), len(items), seed)
+	}
+	suite, err := exp.RunGenerated(items, opt)
+	code := 0
+	if err != nil {
+		var ge *exp.GridError
+		if !errors.As(err, &ge) || suite == nil {
+			return fail(err)
+		}
+		code = reportDegraded(ge)
+	}
+	if verbose {
+		fmt.Fprintf(os.Stderr, "grid complete in %.1fs\n", time.Since(start).Seconds())
+	}
+	exp.StratTable(suite, items).Write(w)
+	return code
 }
 
 // reportDegraded summarizes a degraded grid on stderr and returns the

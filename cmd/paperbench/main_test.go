@@ -156,6 +156,34 @@ func TestOutFlagWritesAtomically(t *testing.T) {
 	}
 }
 
+// TestGenModeDeterministic drives the generated-corpus mode end to end:
+// -gen N -genseed S mints the corpus, runs the reduced grid and renders
+// the per-stratum table. Two runs with the same seed must print the same
+// bytes; the flag is exclusive with the static table modes.
+func TestGenModeDeterministic(t *testing.T) {
+	code, out, errOut := runSelf(t, "-gen", "30", "-genseed", "7", "-verify")
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0\nstderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(out, "Generated corpus") || !strings.Contains(out, "all") {
+		t.Errorf("missing stratum table:\n%s", out)
+	}
+	code2, out2, _ := runSelf(t, "-gen", "30", "-genseed", "7", "-verify")
+	if code2 != 0 {
+		t.Fatalf("second run: exit code %d, want 0", code2)
+	}
+	if out != out2 {
+		t.Errorf("same seed produced different tables\n--- first ---\n%s\n--- second ---\n%s", out, out2)
+	}
+
+	if code, _, _ := runSelf(t, "-gen", "5", "-table", "4"); code != 1 {
+		t.Errorf("-gen with -table: exit code %d, want 1", code)
+	}
+	if code, _, _ := runSelf(t, "-gen", "5", "-json"); code != 1 {
+		t.Errorf("-gen with -json: exit code %d, want 1", code)
+	}
+}
+
 // TestInterruptDrainsGracefully sends SIGINT to a slowed-down grid run
 // and asserts the signal cancels the run instead of killing it: the
 // process exits 2 (degraded) through the normal reporting path, the

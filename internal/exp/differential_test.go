@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/hlir"
+	"repro/internal/hlirgen"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -63,6 +65,68 @@ func TestFastCoreMatchesReferenceAcrossBenchmarks(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestGeneratedDifferential extends the differential oracle from the
+// seventeen hand-built benchmarks to the seeded generator population: 64
+// generated programs per seed, each run through the full wide
+// configuration set (plain, unrolled and locality-analyzed, both
+// policies) on both simulator cores with pipeline verification on. On
+// the first mismatch the failing program is shrunk to a minimal repro
+// and dumped as parseable HLIR text, so a generator- or
+// scheduler-triggered bug arrives pre-reduced.
+func TestGeneratedDifferential(t *testing.T) {
+	seeds := []uint64{1, 2}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	const perSeed = 64
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			items, err := hlirgen.Corpus(seed, perSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfgs := hlirgen.DiffConfigsWide()
+			for _, it := range items {
+				if err := hlirgen.Diff(it.Prog, it.Data, cfgs...); err != nil {
+					pred := func(p *hlir.Program) bool {
+						return hlirgen.Diff(p, it.Data, cfgs...) != nil
+					}
+					small := hlirgen.Shrink(it.Prog, it.Data.I, pred)
+					t.Fatalf("%s (stratum %s): %v\nminimal repro (%d statements):\n%s",
+						it.Prog.Name, it.Stratum.Label(), err,
+						hlirgen.CountStmts(small.Body), small)
+				}
+			}
+		})
+	}
+}
+
+// FuzzGeneratedDifferential is the open-ended form of the test above:
+// any seed the fuzzer invents must produce a program on which every
+// simulator and every configuration agree. Failures are shrunk before
+// reporting.
+func FuzzGeneratedDifferential(f *testing.F) {
+	for _, s := range []uint64{0, 1, 17, 1000, 1 << 40} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		it, err := hlirgen.FromSeed(seed)
+		if err != nil {
+			t.Fatalf("seed %#x: %v", seed, err)
+		}
+		if err := hlirgen.Diff(it.Prog, it.Data); err != nil {
+			pred := func(p *hlir.Program) bool {
+				return hlirgen.Diff(p, it.Data) != nil
+			}
+			small := hlirgen.Shrink(it.Prog, it.Data.I, pred)
+			t.Fatalf("seed %#x: %v\nminimal repro (%d statements):\n%s",
+				seed, err, hlirgen.CountStmts(small.Body), small)
+		}
+	})
 }
 
 // runOn simulates compiled code on one core variant and returns the

@@ -539,13 +539,20 @@ func RunGrid(names []string, opt Options) (*Suite, error) {
 // the returned error is a *GridError and the Suite is still valid for
 // every healthy cell.
 func RunBenchmarks(benches []workload.Benchmark, opt Options) (*Suite, error) {
+	return RunBenchmarksConfigs(benches, Cells(), opt)
+}
+
+// RunBenchmarksConfigs is RunBenchmarks over an explicit configuration
+// set instead of the paper's 16-cell grid — the entry point for generated
+// corpora, whose statistics mode trades grid width for corpus size.
+func RunBenchmarksConfigs(benches []workload.Benchmark, cfgs []core.Config, opt Options) (*Suite, error) {
 	s := &Suite{results: map[string]map[string]*Result{}}
 	for _, b := range benches {
 		s.Benchmarks = append(s.Benchmarks, b.Name)
 		s.results[b.Name] = map[string]*Result{}
 	}
-	specs := make([]cellSpec, 0, len(Cells()))
-	for _, cfg := range Cells() {
+	specs := make([]cellSpec, 0, len(cfgs))
+	for _, cfg := range cfgs {
 		specs = append(specs, cellSpec{cfg: cfg})
 	}
 	eng := obs.NewStats()

@@ -1,0 +1,127 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/hlirgen"
+	"repro/internal/workload"
+)
+
+// This file runs the experiment grid over generated corpora
+// (internal/hlirgen) and aggregates the results per stratum — the
+// N=1000 restatement of the paper's Table 8/9 question: does balanced
+// scheduling keep its edge over list scheduling when the benchmark
+// population is wide enough to stratify by loop depth, reuse pattern and
+// ILP profile?
+
+// GenCells returns the reduced configuration set used for generated
+// corpora: the paper's two protagonists plain and under the
+// ILP-increasing transforms. Five configurations instead of sixteen
+// keeps a 1000-program grid tractable (5000 cells).
+func GenCells() []core.Config {
+	return []core.Config{tsNone, bsNone, tsLU4, bsLU4, bsLA4}
+}
+
+// RunGenerated runs the reduced grid over corpus items under opt. The
+// per-cell checksum oracle stays on: every generated program's simulated
+// output is compared against the reference interpreter in every cell.
+func RunGenerated(items []hlirgen.Item, opt Options) (*Suite, error) {
+	return RunBenchmarksConfigs(workload.FromItems(items), GenCells(), opt)
+}
+
+// stratAgg accumulates one stratum's speedups.
+type stratAgg struct {
+	n       int
+	bsTS    []float64 // BS vs TS, untransformed
+	bsTSLU4 []float64 // BS+LU4 vs TS+LU4
+	bsLA4TS []float64 // BS+LA+LU4 vs TS+LU4
+}
+
+// StratTable renders per-stratum balanced-vs-list speedups for a
+// generated-corpus run: for each stratum, the count of programs and the
+// mean (min–max) cycle-count ratio TS/BS plain, under unroll-by-4, and
+// with locality analysis added. A final row aggregates the whole corpus.
+// Strata are sorted by label; programs whose cells failed (degraded
+// runs) are skipped.
+func StratTable(s *Suite, items []hlirgen.Item) *Table {
+	aggs := map[string]*stratAgg{}
+	order := []string{}
+	get := func(label string) *stratAgg {
+		a, ok := aggs[label]
+		if !ok {
+			a = &stratAgg{}
+			aggs[label] = a
+			order = append(order, label)
+		}
+		return a
+	}
+	for _, it := range items {
+		name := it.Prog.Name
+		mTS, ok1 := s.metrics(name, tsNone)
+		mBS, ok2 := s.metrics(name, bsNone)
+		mTS4, ok3 := s.metrics(name, tsLU4)
+		mBS4, ok4 := s.metrics(name, bsLU4)
+		mLA4, ok5 := s.metrics(name, bsLA4)
+		if !ok1 || !ok2 || !ok3 || !ok4 || !ok5 {
+			continue
+		}
+		a := get(it.Stratum.Label())
+		a.n++
+		a.bsTS = append(a.bsTS, speedup(mTS, mBS))
+		a.bsTSLU4 = append(a.bsTSLU4, speedup(mTS4, mBS4))
+		a.bsLA4TS = append(a.bsLA4TS, speedup(mTS4, mLA4))
+	}
+	sort.Strings(order)
+
+	t := &Table{
+		Title:  "Generated corpus: balanced vs list scheduling by stratum (cycle-count speedup over TS)",
+		Header: []string{"Stratum", "N", "BS", "BS min", "BS max", "BS+LU4", "BS+LA+LU4"},
+	}
+	row := func(label string, a *stratAgg) []string {
+		return []string{
+			label,
+			fmt.Sprint(a.n),
+			f2(mean(a.bsTS)), f2(minOf(a.bsTS)), f2(maxOf(a.bsTS)),
+			f2(mean(a.bsTSLU4)), f2(mean(a.bsLA4TS)),
+		}
+	}
+	all := &stratAgg{}
+	for _, label := range order {
+		a := aggs[label]
+		t.Rows = append(t.Rows, row(label, a))
+		all.n += a.n
+		all.bsTS = append(all.bsTS, a.bsTS...)
+		all.bsTSLU4 = append(all.bsTSLU4, a.bsTSLU4...)
+		all.bsLA4TS = append(all.bsLA4TS, a.bsLA4TS...)
+	}
+	t.Rows = append(t.Rows, row("all", all))
+	return t
+}
+
+func minOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

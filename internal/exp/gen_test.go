@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/hlirgen"
+)
+
+// TestStratTableDeterministic is the corpus-grid acceptance criterion:
+// two independent end-to-end runs — mint the corpus, run the reduced
+// grid with verification on, aggregate per stratum — must render
+// byte-identical tables. Any nondeterminism in the generator, the
+// engine's parallel scheduling, or the aggregation would show up here.
+func TestStratTableDeterministic(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 30
+	}
+	render := func() string {
+		items, err := hlirgen.Corpus(1, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		suite, err := RunGenerated(items, Options{Verify: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		StratTable(suite, items).Write(&buf)
+		return buf.String()
+	}
+	a := render()
+	b := render()
+	if a != b {
+		t.Fatalf("two corpus-grid runs rendered different tables\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+	if !strings.Contains(a, "all") {
+		t.Fatalf("table missing aggregate row:\n%s", a)
+	}
+	// Every program ran in every config, so the aggregate N is the corpus
+	// size; a shortfall means cells silently failed.
+	lines := strings.Split(strings.TrimRight(a, "\n"), "\n")
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, "all") {
+		t.Fatalf("last row is not the aggregate: %q", last)
+	}
+	if fields := strings.Fields(last); len(fields) < 2 || fields[1] != fmt.Sprint(n) {
+		t.Fatalf("aggregate row reports %v, want N=%d:\n%s", fields, n, a)
+	}
+}
+
+// TestGenCellsCoverBothPolicies pins the reduced configuration set: it
+// must contain both scheduling policies plain and transformed, or the
+// stratum table's speedup columns would be meaningless.
+func TestGenCellsCoverBothPolicies(t *testing.T) {
+	names := map[string]bool{}
+	for _, c := range GenCells() {
+		names[c.Name()] = true
+	}
+	for _, want := range []string{tsNone.Name(), bsNone.Name(), tsLU4.Name(), bsLU4.Name(), bsLA4.Name()} {
+		if !names[want] {
+			t.Fatalf("GenCells missing %s (have %v)", want, names)
+		}
+	}
+}

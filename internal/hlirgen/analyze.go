@@ -1,0 +1,173 @@
+package hlirgen
+
+import (
+	"repro/internal/hlir"
+)
+
+// This file holds the small static analyses the corpus labelling needs:
+// a statement counter (used by the shrinker's size accounting and the
+// injected-bug acceptance test) and a static ILP estimate (used to
+// stratify generated programs into "hi"/"lo" parallelism classes).
+
+// CountStmts counts every statement in body, including those nested
+// inside loops and conditionals.
+func CountStmts(body []hlir.Stmt) int {
+	n := 0
+	hlir.Walk(body, func(hlir.Stmt) { n++ })
+	return n
+}
+
+// EstimateILP returns a static instruction-level-parallelism estimate for
+// p: total operation count divided by the dependence-aware critical path
+// through the innermost loop bodies. Balanced expression trees with
+// independent statements score high; accumulator chains threaded through
+// a scalar score near 1.
+func EstimateILP(p *hlir.Program) float64 {
+	var bodies [][]hlir.Stmt
+	var walk func(body []hlir.Stmt)
+	walk = func(body []hlir.Stmt) {
+		for _, st := range body {
+			if l, ok := st.(*hlir.Loop); ok {
+				if hasLoop(l.Body) {
+					walk(l.Body)
+				} else {
+					bodies = append(bodies, l.Body)
+				}
+			}
+		}
+	}
+	walk(p.Body)
+	if len(bodies) == 0 {
+		bodies = [][]hlir.Stmt{p.Body}
+	}
+	var ops, path float64
+	for _, b := range bodies {
+		o, p := bodyILP(b)
+		ops += o
+		path += p
+	}
+	if path == 0 {
+		return 1
+	}
+	return ops / path
+}
+
+// ilpClass buckets an estimate into the two stratum labels.
+func ilpClass(ilp float64) string {
+	if ilp >= 1.8 {
+		return "hi"
+	}
+	return "lo"
+}
+
+func hasLoop(body []hlir.Stmt) bool {
+	found := false
+	hlir.Walk(body, func(st hlir.Stmt) {
+		if _, ok := st.(*hlir.Loop); ok {
+			found = true
+		}
+	})
+	return found
+}
+
+// bodyILP returns (operation count, critical path length) for one
+// straight-line body. Statements inside conditionals count as ordinary
+// statements; a statement depends on an earlier one when it reads a
+// scalar or array the earlier one wrote (name-level, conservative).
+func bodyILP(body []hlir.Stmt) (ops, path float64) {
+	type node struct {
+		writes string
+		reads  map[string]bool
+		height float64
+	}
+	var nodes []node
+	var collect func(body []hlir.Stmt)
+	collect = func(body []hlir.Stmt) {
+		for _, st := range body {
+			switch st := st.(type) {
+			case *hlir.Assign:
+				n := node{reads: map[string]bool{}, height: exprHeight(st.RHS)}
+				ops += exprOps(st.RHS)
+				exprNames(st.RHS, n.reads)
+				switch lhs := st.LHS.(type) {
+				case *hlir.Var:
+					n.writes = lhs.Name
+				case *hlir.Ref:
+					n.writes = lhs.A.Name
+					for _, ix := range lhs.Idx {
+						exprNames(ix, n.reads)
+					}
+				}
+				nodes = append(nodes, n)
+			case *hlir.If:
+				ops += exprOps(st.Cond)
+				collect(st.Then)
+				collect(st.Else)
+			case *hlir.Loop:
+				collect(st.Body)
+			}
+		}
+	}
+	collect(body)
+
+	chain := make([]float64, len(nodes))
+	for j := range nodes {
+		chain[j] = nodes[j].height
+		for i := 0; i < j; i++ {
+			if nodes[i].writes != "" && nodes[j].reads[nodes[i].writes] {
+				if c := chain[i] + nodes[j].height; c > chain[j] {
+					chain[j] = c
+				}
+			}
+		}
+		if chain[j] > path {
+			path = chain[j]
+		}
+	}
+	return ops, path
+}
+
+// exprOps counts arithmetic operator nodes in e. References and their
+// index arithmetic are excluded: address computation overlaps freely
+// with the float work, so it does not discriminate wide trees from
+// serial chains.
+func exprOps(e hlir.Expr) float64 {
+	switch e := e.(type) {
+	case *hlir.Bin:
+		return 1 + exprOps(e.X) + exprOps(e.Y)
+	case *hlir.Un:
+		return 1 + exprOps(e.X)
+	default:
+		return 0
+	}
+}
+
+// exprHeight is the operator-tree height of e (references are leaves).
+func exprHeight(e hlir.Expr) float64 {
+	switch e := e.(type) {
+	case *hlir.Bin:
+		return 1 + max(exprHeight(e.X), exprHeight(e.Y))
+	case *hlir.Un:
+		return 1 + exprHeight(e.X)
+	default:
+		return 0
+	}
+}
+
+// exprNames adds every scalar and array name read by e to out.
+func exprNames(e hlir.Expr, out map[string]bool) {
+	switch e := e.(type) {
+	case *hlir.Var:
+		out[e.Name] = true
+	case *hlir.Ref:
+		out[e.A.Name] = true
+		for _, ix := range e.Idx {
+			exprNames(ix, out)
+		}
+	case *hlir.Bin:
+		exprNames(e.X, out)
+		exprNames(e.Y, out)
+	case *hlir.Un:
+		exprNames(e.X, out)
+	}
+}

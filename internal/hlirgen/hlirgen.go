@@ -1,0 +1,494 @@
+// Package hlirgen is a seeded, property-based generator of valid HLIR
+// programs — the "workload generation at scale" piece of the roadmap.
+// Where internal/workload hand-builds seventeen benchmark analogs,
+// hlirgen mints unbounded numbers of them: affine loop nests of
+// configurable depth and trip count, with stencil, reduction, gather and
+// pointwise reuse patterns, structured conditionals, and integer/float
+// mixes.
+//
+// Every emitted program is well-formed by construction — scalars are
+// initialized before the nest, affine subscripts stay inside array
+// extents, gather subscripts index through read-only integer arrays whose
+// contents are generated in range — and Generate double-checks that claim
+// by running verify.Program on the result before returning it. The same
+// seed always yields the same program and input data, byte for byte,
+// across runs and Go releases (the generator uses its own SplitMix64, not
+// math/rand).
+package hlirgen
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hlir"
+	"repro/internal/verify"
+)
+
+// Reuse names the dominant array-reuse pattern of a generated program's
+// innermost statements — the axis the paper's locality analysis cares
+// about.
+type Reuse uint8
+
+const (
+	// ReusePointwise streams arrays with one reference per element.
+	ReusePointwise Reuse = iota
+	// ReuseStencil reads small constant-offset neighbourhoods.
+	ReuseStencil
+	// ReuseReduction accumulates into a scalar carried across the
+	// innermost loop.
+	ReuseReduction
+	// ReuseGather loads through a read-only integer index array.
+	ReuseGather
+	// ReuseMixed draws each statement's pattern independently.
+	ReuseMixed
+
+	numReuse = int(ReuseMixed) + 1
+)
+
+var reuseNames = [...]string{"pointwise", "stencil", "reduction", "gather", "mixed"}
+
+func (r Reuse) String() string {
+	if int(r) < len(reuseNames) {
+		return reuseNames[r]
+	}
+	return fmt.Sprintf("reuse(%d)", int(r))
+}
+
+// Params shape one generated program.
+type Params struct {
+	// Depth is the loop-nest depth, 1 to 3.
+	Depth int
+	// Trip is the innermost trip count; outer extents are drawn small.
+	Trip int
+	// Reuse selects the array-reuse pattern.
+	Reuse Reuse
+	// Wide requests balanced, high-ILP expression trees; false yields
+	// serial accumulator chains.
+	Wide bool
+	// Conds adds structured conditionals around some statements.
+	Conds bool
+	// IntMix adds integer-kind statements (counters, compare results)
+	// alongside the float work.
+	IntMix bool
+	// Stmts is the innermost statement count, 1 to 4.
+	Stmts int
+}
+
+// clamp pulls pr into the supported envelope so arbitrary fuzz inputs
+// are always usable.
+func (pr Params) clamp() Params {
+	pr.Depth = clampInt(pr.Depth, 1, 3)
+	pr.Trip = clampInt(pr.Trip, 4, 24)
+	if int(pr.Reuse) >= numReuse {
+		pr.Reuse = Reuse(int(pr.Reuse) % numReuse)
+	}
+	pr.Stmts = clampInt(pr.Stmts, 1, 4)
+	return pr
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Stratum labels a generated program for corpus stratification.
+type Stratum struct {
+	// Depth is the loop-nest depth.
+	Depth int
+	// Reuse is the reuse class.
+	Reuse Reuse
+	// ILP classifies the measured static ILP estimate: "hi" or "lo".
+	ILP string
+}
+
+// Label renders the stratum as "d2/stencil/hi".
+func (s Stratum) Label() string {
+	return fmt.Sprintf("d%d/%s/%s", s.Depth, s.Reuse, s.ILP)
+}
+
+// rng is SplitMix64 — deterministic across Go releases, unlike math/rand.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{s: seed} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// n returns a value in [0, n).
+func (r *rng) n(n int) int { return int(r.next() % uint64(n)) }
+
+// f64 returns a value in [lo, hi).
+func (r *rng) f64(lo, hi float64) float64 {
+	return lo + (hi-lo)*float64(r.next()>>11)/(1<<53)
+}
+
+func (r *rng) b() bool { return r.next()&1 == 1 }
+
+// gen carries generator state for one program.
+type gen struct {
+	r  *rng
+	pr Params
+	p  *hlir.Program
+	d  *core.Data
+
+	ivs []string // loop variables, outermost first
+	ext []int    // loop extents, outermost first
+
+	srcs []*hlir.Array // float sources, full-rank, extents+2 per dim
+	vec  *hlir.Array   // flat float vector over the innermost var
+	dst  *hlir.Array   // full-rank destination
+	out1 *hlir.Array   // flat destination over the innermost var
+	red  *hlir.Array   // reduction results over the outermost var
+	tab  *hlir.Array   // gather table
+	gix  *hlir.Array   // read-only gather index array
+	kctr *hlir.Array   // integer counter array (IntMix)
+
+	written map[*hlir.Array]bool
+}
+
+// Generate builds one valid HLIR program and its input data from seed and
+// pr. The result is deterministic in (seed, pr); it has been checked with
+// verify.Program before return, so a non-nil error indicates a generator
+// bug, never bad luck.
+func Generate(seed uint64, pr Params) (*hlir.Program, *core.Data, error) {
+	pr = pr.clamp()
+	g := &gen{
+		r:       newRNG(seed),
+		pr:      pr,
+		p:       &hlir.Program{Name: fmt.Sprintf("genx%016x", seed)},
+		d:       &core.Data{F: map[*hlir.Array][]float64{}, I: map[*hlir.Array][]int64{}},
+		written: map[*hlir.Array]bool{},
+	}
+	g.shape()
+	g.declare()
+	g.p.Body = g.build()
+	for _, a := range g.p.Arrays {
+		if g.written[a] {
+			g.p.Outputs = append(g.p.Outputs, a)
+		}
+	}
+	if err := verify.Program(g.p, g.d.I); err != nil {
+		return nil, nil, fmt.Errorf("hlirgen: generated program failed verification (generator bug): %w", err)
+	}
+	return g.p, g.d, nil
+}
+
+// shape draws the loop-nest geometry.
+func (g *gen) shape() {
+	g.ivs = make([]string, g.pr.Depth)
+	g.ext = make([]int, g.pr.Depth)
+	for k := 0; k < g.pr.Depth; k++ {
+		g.ivs[k] = fmt.Sprintf("i%d", k)
+		if k == g.pr.Depth-1 {
+			g.ext[k] = g.pr.Trip
+		} else {
+			g.ext[k] = 3 + g.r.n(4)
+		}
+	}
+}
+
+// declare mints the arrays the chosen reuse classes need and fills their
+// input data.
+func (g *gen) declare() {
+	fullDims := func() []int {
+		dims := make([]int, len(g.ext))
+		for k, e := range g.ext {
+			dims[k] = e + 2 // room for stencil offsets 0..2
+		}
+		return dims
+	}
+	addF := func(name string, dims []int, lo, hi float64) *hlir.Array {
+		a := &hlir.Array{Name: name, Elem: hlir.KFloat, Dims: dims}
+		g.p.Arrays = append(g.p.Arrays, a)
+		vals := make([]float64, a.Len())
+		for i := range vals {
+			vals[i] = g.r.f64(lo, hi)
+		}
+		g.d.F[a] = vals
+		return a
+	}
+
+	nsrc := 2 + g.r.n(2)
+	for s := 0; s < nsrc; s++ {
+		g.srcs = append(g.srcs, addF(fmt.Sprintf("s%d", s), fullDims(), -1, 1))
+	}
+	inner := g.ext[len(g.ext)-1]
+	g.vec = addF("v", []int{inner + 2}, -1, 1)
+
+	g.dst = &hlir.Array{Name: "o", Elem: hlir.KFloat, Dims: fullDims()}
+	g.p.Arrays = append(g.p.Arrays, g.dst)
+	g.out1 = &hlir.Array{Name: "w", Elem: hlir.KFloat, Dims: []int{inner + 2}}
+	g.p.Arrays = append(g.p.Arrays, g.out1)
+
+	needs := func(r Reuse) bool { return g.pr.Reuse == r || g.pr.Reuse == ReuseMixed }
+	if needs(ReuseReduction) {
+		g.red = &hlir.Array{Name: "r", Elem: hlir.KFloat, Dims: []int{g.ext[0] + 2}}
+		g.p.Arrays = append(g.p.Arrays, g.red)
+	}
+	if needs(ReuseGather) {
+		tabN := 16 + g.r.n(17)
+		g.tab = addF("tab", []int{tabN}, 0.5, 1.5)
+		g.gix = &hlir.Array{Name: "ix", Elem: hlir.KInt, Dims: []int{inner + 2}}
+		g.p.Arrays = append(g.p.Arrays, g.gix)
+		ivals := make([]int64, g.gix.Len())
+		for i := range ivals {
+			ivals[i] = int64(g.r.n(tabN))
+		}
+		g.d.I[g.gix] = ivals
+	}
+	if g.pr.IntMix {
+		g.kctr = &hlir.Array{Name: "k", Elem: hlir.KInt, Dims: []int{inner + 2}}
+		g.p.Arrays = append(g.p.Arrays, g.kctr)
+	}
+}
+
+// build assembles scalar initializers plus the loop nest.
+func (g *gen) build() []hlir.Stmt {
+	var body []hlir.Stmt
+	// Scalars are initialized ahead of the nest: the IR verifier rejects
+	// registers live into the entry block, and the defs-before-use check
+	// mirrors that at source level.
+	body = append(body,
+		hlir.Set(hlir.FV("acc"), hlir.F(0)),
+		hlir.Set(hlir.FV("t0"), hlir.F(g.constF())),
+	)
+	if g.pr.IntMix {
+		body = append(body, hlir.Set(hlir.IV("cnt"), hlir.I(0)))
+	}
+	body = append(body, g.nest(0)...)
+	// Bank the carried scalars into an output so accumulator-only work
+	// (reductions without a banked store, IntMix counters) stays
+	// observable through the checksums.
+	body = append(body, hlir.Set(hlir.At(g.out1, hlir.I(0)),
+		hlir.Add(hlir.FV("acc"), hlir.FV("t0"))))
+	g.written[g.out1] = true
+	return body
+}
+
+// nest emits the loop at depth level and everything inside it.
+func (g *gen) nest(level int) []hlir.Stmt {
+	v := g.ivs[level]
+	last := level == g.pr.Depth-1
+	if last {
+		return []hlir.Stmt{hlir.For(v, hlir.I(0), hlir.I(int64(g.ext[level])), g.innerBody()...)}
+	}
+	var inside []hlir.Stmt
+	reduction := g.pr.Reuse == ReuseReduction || g.pr.Reuse == ReuseMixed
+	if reduction && level == 0 {
+		// Reset the accumulator per outer iteration and bank the result
+		// after the inner loops — an imperfect nest, like ear/doduc.
+		inside = append(inside, hlir.Set(hlir.FV("acc"), hlir.F(0)))
+		inside = append(inside, g.nest(level+1)...)
+		if g.red != nil {
+			store := hlir.Set(hlir.At(g.red, hlir.IV(v)), hlir.FV("acc"))
+			g.written[g.red] = true
+			inside = append(inside, store)
+		}
+	} else {
+		inside = g.nest(level + 1)
+	}
+	return []hlir.Stmt{hlir.For(v, hlir.I(0), hlir.I(int64(g.ext[level])), inside...)}
+}
+
+// innerBody emits the innermost statements, each drawn from the reuse
+// class, optionally wrapped in conditionals.
+func (g *gen) innerBody() []hlir.Stmt {
+	var body []hlir.Stmt
+	for s := 0; s < g.pr.Stmts; s++ {
+		class := g.pr.Reuse
+		if class == ReuseMixed {
+			class = Reuse(g.r.n(numReuse - 1))
+		}
+		st := g.classStmt(class)
+		if g.pr.Conds && g.r.n(3) == 0 {
+			st = g.conditional(st)
+		}
+		body = append(body, st)
+	}
+	if g.pr.IntMix {
+		body = append(body, g.intStmts()...)
+	}
+	return body
+}
+
+// classStmt emits one statement of the given reuse class.
+func (g *gen) classStmt(class Reuse) hlir.Stmt {
+	inner := g.ivs[len(g.ivs)-1]
+	switch class {
+	case ReuseStencil:
+		// o[i...] = f(s[i+dk]...) — constant-offset neighbourhood reads.
+		leaves := func() hlir.Expr { return g.loadOffset() }
+		g.written[g.dst] = true
+		return hlir.Set(hlir.At(g.dst, g.plainIdx()...), g.expr(leaves))
+	case ReuseReduction:
+		// acc = acc + f(...) — a loop-carried serial chain by nature.
+		leaves := func() hlir.Expr { return g.loadAny() }
+		return hlir.Set(hlir.FV("acc"), hlir.Add(hlir.FV("acc"), g.expr(leaves)))
+	case ReuseGather:
+		// w[i] = f(tab[ix[i]], ...) — indirection through read-only ix.
+		gl := hlir.At(g.tab, hlir.At(g.gix, hlir.IV(inner)))
+		first := true
+		leaves := func() hlir.Expr {
+			if first {
+				first = false
+				return gl
+			}
+			return g.loadAny()
+		}
+		g.written[g.out1] = true
+		return hlir.Set(hlir.At(g.out1, hlir.IV(inner)), g.expr(leaves))
+	default: // ReusePointwise
+		// o[i...] = f(s[i...]) — one reference per element, streaming.
+		leaves := func() hlir.Expr { return g.loadPlain() }
+		g.written[g.dst] = true
+		return hlir.Set(hlir.At(g.dst, g.plainIdx()...), g.expr(leaves))
+	}
+}
+
+// conditional wraps st in a predictable (induction-variable parity) or
+// unpredictable (data-dependent) branch.
+func (g *gen) conditional(st hlir.Stmt) hlir.Stmt {
+	inner := g.ivs[len(g.ivs)-1]
+	if g.b() {
+		cond := hlir.Eq(hlir.Mod(hlir.IV(inner), hlir.I(2)), hlir.I(0))
+		return hlir.When(cond, st)
+	}
+	cond := hlir.Lt(g.loadPlain(), hlir.F(g.constF()))
+	alt := hlir.Set(hlir.FV("t0"), hlir.Mul(hlir.FV("t0"), hlir.F(0.5)))
+	return hlir.WhenElse(cond, []hlir.Stmt{st}, []hlir.Stmt{alt})
+}
+
+// intStmts emits the integer-mix statements: a masked counter and a
+// compare-driven update of the integer array.
+func (g *gen) intStmts() []hlir.Stmt {
+	inner := g.ivs[len(g.ivs)-1]
+	stmts := []hlir.Stmt{
+		hlir.Set(hlir.IV("cnt"), hlir.Mod(hlir.Add(hlir.IV("cnt"), hlir.I(1)), hlir.I(64))),
+	}
+	if g.kctr != nil {
+		cmp := hlir.Lt(g.loadPlain(), g.loadPlain())
+		upd := hlir.Set(hlir.At(g.kctr, hlir.IV(inner)),
+			hlir.Add(hlir.At(g.kctr, hlir.IV(inner)), cmp))
+		g.written[g.kctr] = true
+		stmts = append(stmts, upd)
+	}
+	// Fold the counter back into the float stream so the int work is
+	// observable through the final accumulator store.
+	stmts = append(stmts, hlir.Set(hlir.FV("acc"),
+		hlir.Add(hlir.FV("acc"), hlir.Mul(hlir.IToF(hlir.IV("cnt")), hlir.F(0.001)))))
+	return stmts
+}
+
+// expr builds a float expression over the given leaf source: a balanced
+// tree when Wide, a serial accumulator chain otherwise.
+func (g *gen) expr(leaf func() hlir.Expr) hlir.Expr {
+	if g.pr.Wide {
+		depth := 2 + g.r.n(2)
+		return g.tree(depth, leaf)
+	}
+	n := 2 + g.r.n(3)
+	cur := leaf()
+	for i := 0; i < n; i++ {
+		cur = g.binOp(cur, leaf())
+	}
+	return cur
+}
+
+// tree builds a balanced binary operator tree of the given depth.
+func (g *gen) tree(depth int, leaf func() hlir.Expr) hlir.Expr {
+	if depth == 0 {
+		return leaf()
+	}
+	return g.binOp(g.tree(depth-1, leaf), g.tree(depth-1, leaf))
+}
+
+// binOp combines two float operands with an arithmetic operator; division
+// and square root appear occasionally in numerically safe forms.
+func (g *gen) binOp(x, y hlir.Expr) hlir.Expr {
+	switch g.r.n(10) {
+	case 0:
+		// Denominator bounded away from zero: y*y + 0.5 >= 0.5.
+		return hlir.Div(x, hlir.Add(hlir.Mul(y, y), hlir.F(0.5)))
+	case 1:
+		// Strictly positive radicand: no NaNs to diverge on.
+		return hlir.Add(hlir.Sqrt(hlir.Add(hlir.Mul(x, x), hlir.F(0.25))), y)
+	case 2:
+		return hlir.Add(hlir.Abs(x), y)
+	case 3, 4:
+		return hlir.Mul(x, y)
+	case 5, 6:
+		return hlir.Sub(x, y)
+	default:
+		return hlir.Add(x, y)
+	}
+}
+
+// plainIdx returns the full-rank subscript [i0][i1]... with zero offsets.
+func (g *gen) plainIdx() []hlir.Expr {
+	idx := make([]hlir.Expr, len(g.ivs))
+	for k, v := range g.ivs {
+		idx[k] = hlir.IV(v)
+	}
+	return idx
+}
+
+// offsetIdx returns a full-rank subscript with per-dim offsets in {0,1,2};
+// array extents are ext+2, so the result is in bounds by construction.
+func (g *gen) offsetIdx() []hlir.Expr {
+	idx := make([]hlir.Expr, len(g.ivs))
+	for k, v := range g.ivs {
+		off := g.r.n(3)
+		if off == 0 {
+			idx[k] = hlir.IV(v)
+		} else {
+			idx[k] = hlir.Add(hlir.IV(v), hlir.I(int64(off)))
+		}
+	}
+	return idx
+}
+
+// loadPlain reads a source at the zero-offset subscript, or the flat
+// vector at the innermost variable.
+func (g *gen) loadPlain() hlir.Expr {
+	if g.r.n(4) == 0 {
+		return hlir.At(g.vec, hlir.IV(g.ivs[len(g.ivs)-1]))
+	}
+	return hlir.At(g.srcs[g.r.n(len(g.srcs))], g.plainIdx()...)
+}
+
+// loadOffset reads a source at a constant-offset subscript (stencil).
+func (g *gen) loadOffset() hlir.Expr {
+	return hlir.At(g.srcs[g.r.n(len(g.srcs))], g.offsetIdx()...)
+}
+
+// loadAny mixes loads, scalars and literals.
+func (g *gen) loadAny() hlir.Expr {
+	switch g.r.n(6) {
+	case 0:
+		return hlir.FV("t0")
+	case 1:
+		return hlir.F(g.constF())
+	case 2:
+		return g.loadOffset()
+	default:
+		return g.loadPlain()
+	}
+}
+
+// constF draws a small literal with a short decimal form, so printed
+// programs stay readable and round-trip exactly.
+func (g *gen) constF() float64 {
+	return float64(g.r.n(33)-16) / 8.0
+}
+
+func (g *gen) b() bool { return g.r.b() }

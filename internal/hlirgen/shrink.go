@@ -1,0 +1,440 @@
+package hlirgen
+
+import (
+	"repro/internal/hlir"
+	"repro/internal/verify"
+)
+
+// The shrinker turns a failing generated program into a minimal repro.
+// It is greedy and deterministic: repeatedly try the smallest structural
+// edits (delete a statement, collapse a loop or branch, narrow constant
+// bounds, replace a subexpression with an operand or a literal), keeping
+// an edit only when the candidate still passes verify.Program — so every
+// intermediate program remains well-formed and printable — and still
+// satisfies the caller's failure predicate. The loop runs to a fixpoint,
+// so the result cannot be shrunk further by any single edit.
+
+// Predicate reports whether a candidate still exhibits the failure being
+// minimized. It must be deterministic; it is called many times.
+type Predicate func(*hlir.Program) bool
+
+// Shrink minimizes p under pred. ints carries the integer input data
+// (core.Data.I) that verify.Program needs to bound gather subscripts.
+// The original failure must hold on p itself; if it does not (or p is
+// invalid), p is returned unchanged. The returned program is always a
+// fresh clone.
+func Shrink(p *hlir.Program, ints map[*hlir.Array][]int64, pred Predicate) *hlir.Program {
+	cur := p.Clone()
+	if verify.Program(cur, ints) != nil || !pred(cur) {
+		return cur
+	}
+	ok := func(cand *hlir.Program) bool {
+		return verify.Program(cand, ints) == nil && pred(cand)
+	}
+	for {
+		improved := false
+		if shrinkStmts(&cur, ok) {
+			improved = true
+		}
+		if shrinkExprs(&cur, ok) {
+			improved = true
+		}
+		if shrinkOutputs(&cur, ok) {
+			improved = true
+		}
+		if !improved {
+			break
+		}
+	}
+	if cand := pruneArrays(cur); ok(cand) {
+		cur = cand
+	}
+	return cur
+}
+
+// ----- statement-level edits -----
+
+type svariant uint8
+
+const (
+	vDelete   svariant = iota // remove the statement
+	vIfThen                   // replace the If with its then-branch
+	vIfElse                   // replace the If with its else-branch
+	vLoopBody                 // replace the Loop with its body at Var=Lo
+	vLoopHalf                 // halve the Loop's constant trip count
+	vLoopOne                  // shrink the Loop to a single iteration
+	numSVariants
+)
+
+// shrinkStmts runs one sweep of statement edits over cur, accepting any
+// edit that keeps the failure; returns whether anything was accepted.
+func shrinkStmts(cur **hlir.Program, ok func(*hlir.Program) bool) bool {
+	improved := false
+	for k := 0; k < CountStmts((*cur).Body); k++ {
+		for v := svariant(0); v < numSVariants; v++ {
+			cand := (*cur).Clone()
+			kk := k
+			body, found, applied := editStmts(cand.Body, &kk, v)
+			if !found || !applied {
+				continue
+			}
+			cand.Body = body
+			if !ok(cand) {
+				continue
+			}
+			*cur = cand
+			improved = true
+			// Retry the same index: after a delete it now holds the next
+			// statement, and repeated bound-halving terminates because
+			// the trip count shrinks monotonically.
+			k--
+			break
+		}
+	}
+	return improved
+}
+
+// editStmts applies v to the k-th statement in pre-order. found reports
+// whether the index was reached; applied whether the variant made a
+// change there.
+func editStmts(body []hlir.Stmt, k *int, v svariant) (out []hlir.Stmt, found, applied bool) {
+	out = make([]hlir.Stmt, 0, len(body))
+	for i, st := range body {
+		if found {
+			out = append(out, st)
+			continue
+		}
+		if *k == 0 {
+			*k = -1
+			repl, okv := applyStmtVariant(st, v)
+			if !okv {
+				return nil, true, false
+			}
+			out = append(out, repl...)
+			found, applied = true, true
+			continue
+		}
+		*k--
+		switch st := st.(type) {
+		case *hlir.Loop:
+			nb, f, a := editStmts(st.Body, k, v)
+			if f {
+				if !a {
+					return nil, true, false
+				}
+				cp := *st
+				cp.Body = nb
+				out = append(out, &cp)
+				found, applied = true, true
+				continue
+			}
+		case *hlir.If:
+			nt, f, a := editStmts(st.Then, k, v)
+			if f {
+				if !a {
+					return nil, true, false
+				}
+				cp := *st
+				cp.Then = nt
+				out = append(out, &cp)
+				found, applied = true, true
+				continue
+			}
+			ne, f, a := editStmts(st.Else, k, v)
+			if f {
+				if !a {
+					return nil, true, false
+				}
+				cp := *st
+				cp.Else = ne
+				out = append(out, &cp)
+				found, applied = true, true
+				continue
+			}
+		}
+		out = append(out, st)
+		_ = i
+	}
+	return out, found, applied
+}
+
+// applyStmtVariant produces the replacement statements for one edit, or
+// reports the variant inapplicable.
+func applyStmtVariant(st hlir.Stmt, v svariant) ([]hlir.Stmt, bool) {
+	switch v {
+	case vDelete:
+		return nil, true
+	case vIfThen:
+		iff, ok := st.(*hlir.If)
+		if !ok || len(iff.Then) == 0 {
+			return nil, false
+		}
+		return iff.Then, true
+	case vIfElse:
+		iff, ok := st.(*hlir.If)
+		if !ok || len(iff.Else) == 0 {
+			return nil, false
+		}
+		return iff.Else, true
+	case vLoopBody:
+		l, ok := st.(*hlir.Loop)
+		if !ok {
+			return nil, false
+		}
+		lo, ok := l.Lo.(*hlir.ConstI)
+		if !ok {
+			return nil, false
+		}
+		return hlir.CloneBody(l.Body, hlir.Subst{l.Var: hlir.I(lo.V)}), true
+	case vLoopHalf, vLoopOne:
+		l, ok := st.(*hlir.Loop)
+		if !ok {
+			return nil, false
+		}
+		lo, okLo := l.Lo.(*hlir.ConstI)
+		hi, okHi := l.Hi.(*hlir.ConstI)
+		if !okLo || !okHi {
+			return nil, false
+		}
+		var newHi int64
+		if v == vLoopOne {
+			newHi = lo.V + 1
+		} else {
+			newHi = lo.V + (hi.V-lo.V)/2
+		}
+		if newHi >= hi.V || newHi <= lo.V {
+			return nil, false
+		}
+		cp := *l
+		cp.Hi = hlir.I(newHi)
+		return []hlir.Stmt{&cp}, true
+	default:
+		return nil, false
+	}
+}
+
+// ----- expression-level edits -----
+
+type evariant uint8
+
+const (
+	eConst evariant = iota // replace the node with a literal 1
+	eX                     // replace an operator node with its X operand
+	eY                     // replace a binary node with its Y operand
+	numEVariants
+)
+
+// shrinkExprs runs one sweep of expression edits over every value
+// position (assignment RHS, store indices, loop bounds, branch
+// conditions, prefetch indices).
+func shrinkExprs(cur **hlir.Program, ok func(*hlir.Program) bool) bool {
+	improved := false
+	for k := 0; k < countExprSlots((*cur).Body); k++ {
+		for v := evariant(0); v < numEVariants; v++ {
+			cand := (*cur).Clone()
+			kk := k
+			applied := editProgramExpr(cand.Body, &kk, v)
+			if !applied {
+				continue
+			}
+			if !ok(cand) {
+				continue
+			}
+			*cur = cand
+			improved = true
+			break
+		}
+	}
+	return improved
+}
+
+// exprSlots visits every editable expression root in pre-order and lets
+// visit replace it. The LHS of an array store keeps its Ref node (only
+// its indices are editable); prefetch likewise.
+func exprSlots(body []hlir.Stmt, visit func(e hlir.Expr) hlir.Expr) {
+	var doRefIdx = func(r *hlir.Ref) {
+		for i, ix := range r.Idx {
+			r.Idx[i] = visit(ix)
+		}
+	}
+	for _, st := range body {
+		switch st := st.(type) {
+		case *hlir.Assign:
+			if ref, okRef := st.LHS.(*hlir.Ref); okRef {
+				doRefIdx(ref)
+			}
+			st.RHS = visit(st.RHS)
+		case *hlir.Loop:
+			st.Lo = visit(st.Lo)
+			st.Hi = visit(st.Hi)
+			exprSlots(st.Body, visit)
+		case *hlir.If:
+			st.Cond = visit(st.Cond)
+			exprSlots(st.Then, visit)
+			exprSlots(st.Else, visit)
+		case *hlir.Prefetch:
+			doRefIdx(st.Ref)
+		}
+	}
+}
+
+// countExprNodes counts the nodes of e in pre-order.
+func countExprNodes(e hlir.Expr) int {
+	n := 1
+	switch e := e.(type) {
+	case *hlir.Bin:
+		n += countExprNodes(e.X) + countExprNodes(e.Y)
+	case *hlir.Un:
+		n += countExprNodes(e.X)
+	case *hlir.Ref:
+		for _, ix := range e.Idx {
+			n += countExprNodes(ix)
+		}
+	}
+	return n
+}
+
+func countExprSlots(body []hlir.Stmt) int {
+	n := 0
+	exprSlots(body, func(e hlir.Expr) hlir.Expr {
+		n += countExprNodes(e)
+		return e
+	})
+	return n
+}
+
+// editProgramExpr applies v to the k-th expression node (pre-order over
+// all slots) of body, in place. Returns whether a change was made.
+func editProgramExpr(body []hlir.Stmt, k *int, v evariant) bool {
+	applied := false
+	exprSlots(body, func(e hlir.Expr) hlir.Expr {
+		if *k < 0 {
+			return e
+		}
+		ne, a := editExpr(e, k, v)
+		if a {
+			applied = true
+		}
+		return ne
+	})
+	return applied
+}
+
+// editExpr rewrites the k-th node of e in pre-order.
+func editExpr(e hlir.Expr, k *int, v evariant) (hlir.Expr, bool) {
+	if *k == 0 {
+		*k = -1
+		return applyExprVariant(e, v)
+	}
+	*k--
+	switch t := e.(type) {
+	case *hlir.Bin:
+		if nx, a := editExpr(t.X, k, v); *k < 0 {
+			if a {
+				t.X = nx
+			}
+			return e, a
+		}
+		if ny, a := editExpr(t.Y, k, v); *k < 0 {
+			if a {
+				t.Y = ny
+			}
+			return e, a
+		}
+	case *hlir.Un:
+		if nx, a := editExpr(t.X, k, v); *k < 0 {
+			if a {
+				t.X = nx
+			}
+			return e, a
+		}
+	case *hlir.Ref:
+		for i := range t.Idx {
+			if nx, a := editExpr(t.Idx[i], k, v); *k < 0 {
+				if a {
+					t.Idx[i] = nx
+				}
+				return e, a
+			}
+		}
+	}
+	return e, false
+}
+
+// applyExprVariant produces the replacement for one node, preserving the
+// expression kind so candidates stay type-correct.
+func applyExprVariant(e hlir.Expr, v evariant) (hlir.Expr, bool) {
+	switch v {
+	case eConst:
+		switch e.(type) {
+		case *hlir.ConstI, *hlir.ConstF:
+			return e, false
+		}
+		if e.Kind() == hlir.KInt {
+			return hlir.I(1), true
+		}
+		return hlir.F(1), true
+	case eX:
+		switch t := e.(type) {
+		case *hlir.Bin:
+			if t.X.Kind() == e.Kind() {
+				return t.X, true
+			}
+		case *hlir.Un:
+			if t.X.Kind() == e.Kind() {
+				return t.X, true
+			}
+		}
+	case eY:
+		if t, okB := e.(*hlir.Bin); okB && t.Y.Kind() == e.Kind() {
+			return t.Y, true
+		}
+	}
+	return e, false
+}
+
+// ----- output and array pruning -----
+
+// shrinkOutputs tries dropping output arrays one at a time (at least one
+// must remain for the program to stay valid).
+func shrinkOutputs(cur **hlir.Program, ok func(*hlir.Program) bool) bool {
+	improved := false
+	for i := 0; i < len((*cur).Outputs) && len((*cur).Outputs) > 1; i++ {
+		cand := (*cur).Clone()
+		cand.Outputs = append(cand.Outputs[:i:i], cand.Outputs[i+1:]...)
+		if ok(cand) {
+			*cur = cand
+			improved = true
+			i--
+		}
+	}
+	return improved
+}
+
+// pruneArrays drops declared arrays that are neither referenced nor
+// listed as outputs.
+func pruneArrays(p *hlir.Program) *hlir.Program {
+	cand := p.Clone()
+	used := map[*hlir.Array]bool{}
+	hlir.WalkExprs(cand.Body, func(e hlir.Expr) {
+		if r, okR := e.(*hlir.Ref); okR {
+			used[r.A] = true
+		}
+	})
+	hlir.Walk(cand.Body, func(st hlir.Stmt) {
+		if pf, okP := st.(*hlir.Prefetch); okP {
+			used[pf.Ref.A] = true
+		}
+	})
+	for _, a := range cand.Outputs {
+		used[a] = true
+	}
+	var kept []*hlir.Array
+	for _, a := range cand.Arrays {
+		if used[a] {
+			kept = append(kept, a)
+		}
+	}
+	cand.Arrays = kept
+	return cand
+}

@@ -1,0 +1,337 @@
+package verify_test
+
+// The HLIR program checker lives in internal/verify so that both the
+// generator (internal/hlirgen) and its shrinker can gate candidates on
+// it. These tests pin the two properties that make it usable as a gate:
+// every hand-built workload analog passes, and a representative sample of
+// malformed programs is rejected with a verify.Error.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hlir"
+	"repro/internal/verify"
+	"repro/internal/workload"
+)
+
+// TestWorkloadProgramsPassHLIRChecks proves the checker accepts all
+// seventeen benchmark analogs — the checker must be permissive enough
+// for real programs, not just generator output.
+func TestWorkloadProgramsPassHLIRChecks(t *testing.T) {
+	for _, b := range workload.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			p, d := b.Build()
+			if err := verify.Program(p, d.I); err != nil {
+				t.Fatalf("verify.Program(%s): %v", b.Name, err)
+			}
+		})
+	}
+}
+
+// TestHLIRChecksRejectMalformedPrograms feeds the checker deliberately
+// broken programs, one invariant at a time.
+func TestHLIRChecksRejectMalformedPrograms(t *testing.T) {
+	// valid returns a minimal correct program the cases then break.
+	valid := func() *hlir.Program {
+		a := &hlir.Array{Name: "a", Elem: hlir.KFloat, Dims: []int{8}}
+		return &hlir.Program{
+			Name:   "ok",
+			Arrays: []*hlir.Array{a},
+			Body: []hlir.Stmt{
+				hlir.For("i", hlir.I(0), hlir.I(8),
+					hlir.Set(hlir.At(a, hlir.IV("i")), hlir.F(1)),
+				),
+			},
+			Outputs: []*hlir.Array{a},
+		}
+	}
+
+	cases := []struct {
+		name string
+		prog func() *hlir.Program
+		want string // substring of the error
+	}{
+		{
+			name: "out of bounds store",
+			prog: func() *hlir.Program {
+				p := valid()
+				p.Body[0].(*hlir.Loop).Hi = hlir.I(9)
+				return p
+			},
+			want: "outside",
+		},
+		{
+			name: "negative index",
+			prog: func() *hlir.Program {
+				p := valid()
+				st := p.Body[0].(*hlir.Loop).Body[0].(*hlir.Assign)
+				st.LHS.(*hlir.Ref).Idx[0] = hlir.Sub(hlir.IV("i"), hlir.I(1))
+				return p
+			},
+			want: "outside",
+		},
+		{
+			name: "use before def",
+			prog: func() *hlir.Program {
+				p := valid()
+				st := p.Body[0].(*hlir.Loop).Body[0].(*hlir.Assign)
+				st.RHS = hlir.FV("t")
+				return p
+			},
+			want: "before it is defined",
+		},
+		{
+			name: "use defined on one branch only",
+			prog: func() *hlir.Program {
+				p := valid()
+				loop := p.Body[0].(*hlir.Loop)
+				a := p.Arrays[0]
+				loop.Body = []hlir.Stmt{
+					hlir.When(hlir.Eq(hlir.Mod(hlir.IV("i"), hlir.I(2)), hlir.I(0)),
+						hlir.Set(hlir.FV("t"), hlir.F(1)),
+					),
+					hlir.Set(hlir.At(a, hlir.IV("i")), hlir.FV("t")),
+				}
+				return p
+			},
+			want: "before it is defined",
+		},
+		{
+			name: "kind mismatch in store",
+			prog: func() *hlir.Program {
+				p := valid()
+				st := p.Body[0].(*hlir.Loop).Body[0].(*hlir.Assign)
+				st.RHS = hlir.I(1)
+				return p
+			},
+			want: "storing int",
+		},
+		{
+			name: "kind mismatch in operator",
+			prog: func() *hlir.Program {
+				p := valid()
+				st := p.Body[0].(*hlir.Loop).Body[0].(*hlir.Assign)
+				st.RHS = hlir.Add(hlir.F(1), hlir.IToF(hlir.IV("i")))
+				st.RHS = hlir.Add(st.RHS, hlir.F(0)) // still float: fine
+				st.RHS = hlir.Div(hlir.IV("i"), hlir.IV("i"))
+				return p
+			},
+			want: "float-only",
+		},
+		{
+			name: "mod by non power of two",
+			prog: func() *hlir.Program {
+				p := valid()
+				st := p.Body[0].(*hlir.Loop).Body[0].(*hlir.Assign)
+				st.LHS.(*hlir.Ref).Idx[0] = hlir.Mod(hlir.IV("i"), hlir.I(3))
+				return p
+			},
+			want: "power-of-two",
+		},
+		{
+			name: "float index",
+			prog: func() *hlir.Program {
+				p := valid()
+				st := p.Body[0].(*hlir.Loop).Body[0].(*hlir.Assign)
+				st.LHS.(*hlir.Ref).Idx[0] = hlir.F(0)
+				return p
+			},
+			want: "float expression",
+		},
+		{
+			name: "undeclared array",
+			prog: func() *hlir.Program {
+				p := valid()
+				ghost := &hlir.Array{Name: "g", Elem: hlir.KFloat, Dims: []int{8}}
+				st := p.Body[0].(*hlir.Loop).Body[0].(*hlir.Assign)
+				st.RHS = hlir.At(ghost, hlir.IV("i"))
+				return p
+			},
+			want: "undeclared",
+		},
+		{
+			name: "wrong arity",
+			prog: func() *hlir.Program {
+				p := valid()
+				a := p.Arrays[0]
+				st := p.Body[0].(*hlir.Loop).Body[0].(*hlir.Assign)
+				st.RHS = hlir.At(a, hlir.IV("i"), hlir.IV("i"))
+				return p
+			},
+			want: "indices",
+		},
+		{
+			name: "written int array used as index",
+			prog: func() *hlir.Program {
+				a := &hlir.Array{Name: "a", Elem: hlir.KFloat, Dims: []int{8}}
+				ix := &hlir.Array{Name: "ix", Elem: hlir.KInt, Dims: []int{8}}
+				return &hlir.Program{
+					Name:   "selfgather",
+					Arrays: []*hlir.Array{a, ix},
+					Body: []hlir.Stmt{
+						hlir.For("i", hlir.I(0), hlir.I(8),
+							hlir.Set(hlir.At(ix, hlir.IV("i")), hlir.IV("i")),
+							hlir.Set(hlir.At(a, hlir.At(ix, hlir.IV("i"))), hlir.F(1)),
+						),
+					},
+					Outputs: []*hlir.Array{a},
+				}
+			},
+			want: "cannot be bounded",
+		},
+		{
+			name: "scalar shadows array",
+			prog: func() *hlir.Program {
+				p := valid()
+				loop := p.Body[0].(*hlir.Loop)
+				loop.Body = append([]hlir.Stmt{hlir.Set(hlir.FV("a"), hlir.F(0))}, loop.Body...)
+				return p
+			},
+			want: "shadows",
+		},
+		{
+			name: "scalar kind flip",
+			prog: func() *hlir.Program {
+				p := valid()
+				loop := p.Body[0].(*hlir.Loop)
+				loop.Body = append([]hlir.Stmt{
+					hlir.Set(hlir.FV("t"), hlir.F(0)),
+					hlir.Set(hlir.IV("t"), hlir.I(0)),
+				}, loop.Body...)
+				return p
+			},
+			want: "both",
+		},
+		{
+			name: "bad step",
+			prog: func() *hlir.Program {
+				p := valid()
+				p.Body[0].(*hlir.Loop).Step = 0
+				return p
+			},
+			want: "step",
+		},
+		{
+			name: "no outputs",
+			prog: func() *hlir.Program {
+				p := valid()
+				p.Outputs = nil
+				return p
+			},
+			want: "no output",
+		},
+		{
+			name: "duplicate array names",
+			prog: func() *hlir.Program {
+				p := valid()
+				dup := &hlir.Array{Name: "a", Elem: hlir.KFloat, Dims: []int{4}}
+				p.Arrays = append(p.Arrays, dup)
+				return p
+			},
+			want: "twice",
+		},
+		{
+			name: "invalid identifier",
+			prog: func() *hlir.Program {
+				p := valid()
+				p.Arrays[0].Name = "a b"
+				return p
+			},
+			want: "identifier",
+		},
+		{
+			name: "non-finite literal",
+			prog: func() *hlir.Program {
+				p := valid()
+				st := p.Body[0].(*hlir.Loop).Body[0].(*hlir.Assign)
+				st.RHS = hlir.Div(hlir.F(1), hlir.F(1))
+				st.RHS.(*hlir.Bin).Y = &hlir.ConstF{V: 0}
+				st.RHS = hlir.F(1)
+				p.Body = append(p.Body, hlir.Set(hlir.FV("z"), &hlir.ConstF{V: inf()}))
+				return p
+			},
+			want: "non-finite",
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			err := verify.Program(tc.prog(), nil)
+			if err == nil {
+				t.Fatalf("verify.Program accepted a malformed program")
+			}
+			var ve *verify.Error
+			if !errorsAs(err, &ve) {
+				t.Fatalf("error is %T, want *verify.Error: %v", err, err)
+			}
+			if ve.Check != "hlir" {
+				t.Fatalf("error check = %q, want hlir", ve.Check)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestGatherBoundsComeFromData checks that gather subscripts are only
+// accepted when the supplied integer data stays in range.
+func TestGatherBoundsComeFromData(t *testing.T) {
+	build := func(maxIdx int64) (*hlir.Program, map[*hlir.Array][]int64) {
+		tab := &hlir.Array{Name: "tab", Elem: hlir.KFloat, Dims: []int{8}}
+		ix := &hlir.Array{Name: "ix", Elem: hlir.KInt, Dims: []int{16}}
+		out := &hlir.Array{Name: "out", Elem: hlir.KFloat, Dims: []int{16}}
+		p := &hlir.Program{
+			Name:   "gather",
+			Arrays: []*hlir.Array{tab, ix, out},
+			Body: []hlir.Stmt{
+				hlir.For("i", hlir.I(0), hlir.I(16),
+					hlir.Set(hlir.At(out, hlir.IV("i")), hlir.At(tab, hlir.At(ix, hlir.IV("i")))),
+				),
+			},
+			Outputs: []*hlir.Array{out},
+		}
+		vals := make([]int64, 16)
+		for i := range vals {
+			vals[i] = int64(i) % (maxIdx + 1)
+		}
+		vals[7] = maxIdx
+		return p, map[*hlir.Array][]int64{ix: vals}
+	}
+
+	if p, ints := build(7); verify.Program(p, ints) != nil {
+		t.Fatalf("in-range gather rejected: %v", verify.Program(p, ints))
+	}
+	if p, ints := build(8); verify.Program(p, ints) == nil {
+		t.Fatalf("out-of-range gather accepted")
+	}
+	// Without data the index array reads as zeros, which is in bounds.
+	if p, _ := build(7); verify.Program(p, nil) != nil {
+		t.Fatalf("zero-filled gather rejected")
+	}
+}
+
+func errorsAs(err error, target **verify.Error) bool {
+	for err != nil {
+		if e, ok := err.(*verify.Error); ok {
+			*target = e
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+func inf() float64 {
+	x := 1.0
+	for i := 0; i < 2000; i++ {
+		x *= 2
+	}
+	return x
+}
