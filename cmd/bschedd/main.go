@@ -8,6 +8,7 @@
 //	        [-cache N] [-breaker-threshold N] [-breaker-cooldown d]
 //	        [-drain-timeout d] [-journal reqs.jsonl] [-verify]
 //	        [-faultspec spec] [-faultseed N] [-tracefile out.json] [-v]
+//	        [-log-level debug|info|warn|error]
 //
 // Endpoints:
 //
@@ -15,7 +16,8 @@
 //	POST /v1/grid     {"benches":["tomcatv"],"configs":["BS","TS"],"deadline_ms":10000}
 //	GET  /healthz     liveness (200 while the process serves)
 //	GET  /readyz      readiness (503 while draining or breaker-saturated)
-//	GET  /metrics     Prometheus text: counters + queue/breaker/cache gauges
+//	GET  /metrics     Prometheus text: counters + latency histograms + queue/breaker/cache gauges
+//	GET  /debug/obs   live observability snapshot as JSON (stats, gauges, runtime, waits)
 //
 // Robustness: requests beyond -queue are shed with 429 + Retry-After;
 // every request runs under a deadline propagated through the pipeline
@@ -25,6 +27,12 @@
 // (singleflight) in front of an LRU result cache. On SIGTERM/SIGINT the
 // daemon drains: it stops accepting, finishes or cancels in-flight work
 // under -drain-timeout, flushes the request journal and exits 0.
+//
+// Logging: structured log/slog lines on stderr, thresholded by
+// -log-level. Every line carries the request ID (client X-Request-Id or
+// minted), the same ID stamped on the response header, the error body's
+// request_id field and the request journal — one join key across all
+// four.
 package main
 
 import (
@@ -32,6 +40,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -65,9 +74,17 @@ func realMain(args []string) int {
 	faultSeed := fs.Int64("faultseed", 1, "seed for probabilistic fault-injection decisions")
 	traceFile := fs.String("tracefile", "", "write a Chrome trace-event JSON timeline of served requests at exit")
 	verbose := fs.Bool("v", false, "log request lifecycle events")
+	logLevel := fs.String("log-level", "info", "structured log threshold: debug, info, warn or error")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "bschedd: -log-level %q: %v\n", *logLevel, err)
+		return 1
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	if *faultSpec != "" {
 		plan, err := faultinject.ParseSpec(*faultSeed, *faultSpec)
@@ -95,6 +112,7 @@ func realMain(args []string) int {
 		Journal:          *journal,
 		Verify:           *verifyFlag,
 		Tracer:           tracer,
+		Logger:           logger,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bschedd:", err)

@@ -377,7 +377,7 @@ func Execute(c *Compiled, data *Data) (*sim.Metrics, uint64, error) {
 // cycle (width 1 is the paper's model; 2 and 4 explore its superscalar
 // future work).
 func ExecuteWidth(c *Compiled, data *Data, width int) (*sim.Metrics, uint64, error) {
-	met, sum, _, err := ExecutePooled(c, data, width, nil)
+	met, sum, _, err := ExecutePooled(c, data, width, nil, nil)
 	return met, sum, err
 }
 
@@ -386,13 +386,18 @@ func ExecuteWidth(c *Compiled, data *Data, width int) (*sim.Metrics, uint64, err
 // than reallocated, so the hot path of the experiment grid runs without
 // rebuilding multi-megabyte memory images. reused reports whether the
 // machine came out of the pool, for the caller's pool-efficiency
-// counters. Pooled and fresh runs are bit-identical.
-func ExecutePooled(c *Compiled, data *Data, width int, pool *sim.Pool) (met *sim.Metrics, sum uint64, reused bool, err error) {
+// counters. Pooled and fresh runs are bit-identical. ob, when it carries
+// a worker timeline, gets the pool get/put windows flagged as
+// block-pool so contention on the shared per-benchmark pool is visible
+// on the worker's state lane; nil ob adds a single nil check.
+func ExecutePooled(c *Compiled, data *Data, width int, pool *sim.Pool, ob *obs.Obs) (met *sim.Metrics, sum uint64, reused bool, err error) {
 	var m *sim.Machine
 	if pool == nil {
 		m, err = sim.New(c.Fn)
 	} else {
+		ob.State(obs.StateBlockPool)
 		m, reused, err = pool.Get(c.Fn)
+		ob.State(obs.StateRun)
 	}
 	if err != nil {
 		return nil, 0, reused, err
@@ -405,7 +410,9 @@ func ExecutePooled(c *Compiled, data *Data, width int, pool *sim.Pool) (met *sim
 	}
 	sum = Checksum(m, c)
 	if pool != nil {
+		ob.State(obs.StateBlockPool)
 		pool.Put(m)
+		ob.State(obs.StateRun)
 	}
 	return met, sum, reused, nil
 }

@@ -60,6 +60,13 @@ type Options struct {
 	// compile-phase and simulation spans) on a lane per worker, for
 	// Chrome-trace export (internal/obs).
 	Tracer *obs.Tracer
+	// Contention, when non-nil, enables contention attribution: each
+	// worker records a busy/blocked state timeline (running a cell,
+	// starved for work, blocked on the aggregator, the machine pool or a
+	// front-end build) and every shared resource wraps its blocking
+	// operation in a named wait histogram. Off (nil) it costs one nil
+	// check per site and zero allocations.
+	Contention *obs.Contention
 	// Observe enables the per-cell counter registry: each cell collects
 	// compiler counters (dag/sched/regalloc/unroll/...), simulator
 	// metrics and runtime allocation deltas into an obs.Snapshot stored
@@ -125,6 +132,7 @@ type cellResult struct {
 type frontEnd struct {
 	b        workload.Benchmark
 	once     sync.Once
+	built    atomic.Bool
 	p        *hlir.Program
 	d        *core.Data
 	want     uint64
@@ -134,19 +142,41 @@ type frontEnd struct {
 }
 
 // get builds the front-end on first call (under a "frontend" span on the
-// calling worker's lane, since that worker pays the cost).
+// calling worker's lane, since that worker pays the cost). With
+// contention attribution on, a worker that arrives while another is
+// still building records the wait on its state lane (block-frontend)
+// and in the "frontend" wait histogram — the per-benchmark front-end
+// serialization the scale report attributes.
 func (f *frontEnd) get(ob *obs.Obs) (*hlir.Program, *core.Data, uint64, *core.ProfileCache, error) {
+	built := f.built.Load()
+	var start time.Time
+	waited := true
+	if !built {
+		ob.State(obs.StateBlockFrontend)
+		start = time.Now()
+	}
 	f.once.Do(func() {
+		// This goroutine is the builder: it is working, not waiting.
+		waited = false
+		ob.State(obs.StateRun)
 		sp := ob.Begin("frontend", "exp").Arg("bench", f.b.Name)
 		defer sp.End()
 		f.p, f.d = f.b.Build()
 		f.profiles = core.NewProfileCache()
 		f.pool = sim.NewPool()
+		f.pool.SetWaitHist(ob.Wait("pool"))
 		f.want, f.err = core.Reference(f.p, f.d)
 		if f.err != nil {
 			f.err = fmt.Errorf("exp: %s reference: %w", f.b.Name, f.err)
 		}
+		f.built.Store(true)
 	})
+	if !built {
+		ob.State(obs.StateRun)
+		if waited {
+			ob.Wait("frontend").Observe(time.Since(start))
+		}
+	}
 	return f.p, f.d, f.want, f.profiles, f.err
 }
 
@@ -219,7 +249,7 @@ func runCell(ctx context.Context, fe *frontEnd, spec cellSpec, ob *obs.Obs, opt 
 		ph.set(phaseSim)
 		simSpan := ob.Begin("sim", "sim").Arg("width", strconv.Itoa(w))
 		start := time.Now()
-		met, got, reused, err := core.ExecutePooled(c, d, w, fe.pool)
+		met, got, reused, err := core.ExecutePooled(c, d, w, fe.pool, ob)
 		out.phases.Sim += time.Since(start)
 		simSpan.End()
 		if st != nil {
@@ -294,9 +324,13 @@ func runCellOnce(parent context.Context, fe *frontEnd, spec cellSpec, opt Option
 			}
 		}()
 		// One Obs per attempt: the stats registry is single-goroutine by
-		// design, so each attempt gets a fresh one; the tracer is shared
-		// and the lane identifies the worker.
-		ob := &obs.Obs{Tracer: opt.Tracer, Lane: lane}
+		// design, so each attempt gets a fresh one; the tracer, the
+		// worker's state timeline and the wait-histogram registry are
+		// shared and the lane identifies the worker.
+		ob := &obs.Obs{Tracer: opt.Tracer, Lane: lane, TL: opt.Contention.Lane(lane)}
+		if opt.Contention != nil {
+			ob.Waits = opt.Contention.Waits
+		}
 		if opt.Observe {
 			ob.Stats = obs.NewStats()
 		}
@@ -427,7 +461,16 @@ func runGrid(benches []workload.Benchmark, specs []cellSpec, opt Options, eng *o
 			if r.err != nil {
 				e.Error = r.err.Error()
 			}
-			jw.append(e)
+			// Journal writes happen on the aggregator, the grid's single
+			// serialization point: attribute their cost so slow disks show
+			// up in the scale report rather than as mystery idle time.
+			if jnlWait := opt.Contention.Hist("journal"); jnlWait != nil {
+				t0 := time.Now()
+				jw.append(e)
+				jnlWait.Observe(time.Since(t0))
+			} else {
+				jw.append(e)
+			}
 		}
 		if r.err != nil {
 			failed = append(failed, r.err)
@@ -470,18 +513,35 @@ func runGrid(benches []workload.Benchmark, specs []cellSpec, opt Options, eng *o
 	ctx := opt.ctx()
 	results := make(chan *cellResult)
 	var wg sync.WaitGroup
+	taskWait := opt.Contention.Hist("taskqueue")
+	aggWait := opt.Contention.Hist("aggregator")
+	// Pre-register the lazily-touched resources too, so an uncontended
+	// run reports zero-count series rather than omitting them (absence
+	// must mean "attribution off", never "no waits").
+	opt.Contention.Hist("pool")
+	opt.Contention.Hist("frontend")
 	for w := 0; w < opt.jobs(); w++ {
 		wg.Add(1)
 		opt.Tracer.NameLane(w, fmt.Sprintf("worker %d", w))
 		go func(lane int) {
 			defer wg.Done()
-			for t := range tasks {
+			tl := opt.Contention.Lane(lane)
+			send := func(r *cellResult) {
+				tl.Set(obs.StateBlockAggregator)
+				obs.TimedSend(results, r, aggWait)
+			}
+			for {
+				tl.Set(obs.StateWaitWork)
+				t, ok := obs.TimedRecv(tasks, taskWait)
+				if !ok {
+					break
+				}
 				// A dead run context skips queued cells without starting
 				// them: each becomes a canceled CellError so the grid
 				// still accounts for every cell and the journal records
 				// the interruption.
 				if err := ctx.Err(); err != nil {
-					results <- &cellResult{
+					send(&cellResult{
 						bench: t.fe.b.Name, cfg: t.spec.cfg, attempts: 1,
 						err: &CellError{
 							Bench: t.fe.b.Name, Config: t.spec.cfg.Name(),
@@ -489,11 +549,13 @@ func runGrid(benches []workload.Benchmark, specs []cellSpec, opt Options, eng *o
 							Timeout:  errors.Is(err, context.DeadlineExceeded),
 							Canceled: errors.Is(err, context.Canceled),
 						},
-					}
+					})
 					continue
 				}
-				results <- runCellAttempts(ctx, t.fe, t.spec, opt, lane)
+				tl.Set(obs.StateRun)
+				send(runCellAttempts(ctx, t.fe, t.spec, opt, lane))
 			}
+			tl.Set(obs.StateIdle)
 		}(w)
 	}
 	go func() {
@@ -503,6 +565,13 @@ func runGrid(benches []workload.Benchmark, specs []cellSpec, opt Options, eng *o
 
 	for r := range results {
 		handle(*r)
+	}
+	// Workers have exited (results closed behind wg.Wait), so the state
+	// timelines are final: export them into the span trace as their own
+	// lanes, so one Perfetto load shows both what each worker did and
+	// what it was waiting on.
+	if opt.Tracer != nil && opt.Contention != nil {
+		opt.Tracer.AddEvents(opt.Contention.Timelines.Events())
 	}
 	if jw != nil {
 		if err := jw.close(); err != nil {

@@ -1,0 +1,70 @@
+package obs
+
+import "time"
+
+// Contention bundles the contention-attribution instruments one grid run
+// carries: per-worker state timelines and per-resource wait histograms.
+// A nil *Contention is fully disabled — Lane and Hist return nil
+// receivers whose methods are free — so the engine threads it
+// unconditionally and pays one nil check when attribution is off.
+type Contention struct {
+	// Timelines holds one busy/blocked state ring per worker lane.
+	Timelines *TimelineSet
+	// Waits holds the named per-resource wait histograms.
+	Waits *WaitProfile
+}
+
+// NewContention returns an enabled bundle; capPerWorker ≤ 0 uses
+// DefaultTimelineCap.
+func NewContention(capPerWorker int) *Contention {
+	return &Contention{
+		Timelines: NewTimelineSet(capPerWorker),
+		Waits:     NewWaitProfile(),
+	}
+}
+
+// NewContentionAt is NewContention with an explicit timeline epoch —
+// pass a Tracer's Epoch so the exported state lanes share the span
+// lanes' clock and line up in the trace viewer.
+func NewContentionAt(epoch time.Time, capPerWorker int) *Contention {
+	return &Contention{
+		Timelines: NewTimelineSetAt(epoch, capPerWorker),
+		Waits:     NewWaitProfile(),
+	}
+}
+
+// Lane returns the worker lane's timeline (nil when disabled).
+func (c *Contention) Lane(lane int) *Timeline {
+	if c == nil {
+		return nil
+	}
+	return c.Timelines.Lane(lane)
+}
+
+// Hist returns the wait histogram for resource name (nil when disabled).
+func (c *Contention) Hist(name string) *WaitHist {
+	if c == nil {
+		return nil
+	}
+	return c.Waits.Hist(name)
+}
+
+// ContentionSnapshot is the serializable state of a Contention bundle,
+// served live by bschedd's /debug/obs and embedded in the scale report.
+type ContentionSnapshot struct {
+	// Timelines summarizes each worker lane's per-state totals.
+	Timelines []WorkerTimelineSnapshot `json:"timelines,omitempty"`
+	// Waits summarizes each resource's wait distribution.
+	Waits []WaitSnapshot `json:"waits,omitempty"`
+}
+
+// Snapshot freezes the bundle. Nil snapshots to nil.
+func (c *Contention) Snapshot() *ContentionSnapshot {
+	if c == nil {
+		return nil
+	}
+	return &ContentionSnapshot{
+		Timelines: c.Timelines.Snapshot(),
+		Waits:     c.Waits.Snapshot(),
+	}
+}

@@ -24,6 +24,13 @@ type Obs struct {
 	Lane int
 	// Stats receives counters and histograms; nil disables them.
 	Stats *Stats
+	// TL is the worker's state timeline (nil = timelines off): deep
+	// callees (the pool path in core.ExecutePooled) flip the worker's
+	// blocked/running state through it.
+	TL *Timeline
+	// Waits is the run's per-resource wait-histogram registry (nil =
+	// wait attribution off).
+	Waits *WaitProfile
 }
 
 // Begin opens a span on the context's tracer and lane. Safe on a nil
@@ -42,4 +49,22 @@ func (o *Obs) Stat() *Stats {
 		return nil
 	}
 	return o.Stats
+}
+
+// State flips the context's worker timeline into state s. Safe (and
+// free) on a nil receiver or with timelines disabled.
+func (o *Obs) State(s WorkerState) {
+	if o == nil {
+		return
+	}
+	o.TL.Set(s)
+}
+
+// Wait returns the wait histogram for resource name (nil when wait
+// attribution is off), for one-line TimedMutex/TimedSend wiring.
+func (o *Obs) Wait(name string) *WaitHist {
+	if o == nil {
+		return nil
+	}
+	return o.Waits.Hist(name)
 }

@@ -51,6 +51,34 @@ func (s *Stats) Observe(name string, v int64) {
 	h.observe(v)
 }
 
+// ObserveN records n observations of value v into histogram name in
+// constant time — the bulk-import path for folding pre-bucketed
+// distributions (wait histograms, runtime/metrics histograms) into the
+// registry. No-op on a nil registry or non-positive n.
+func (s *Stats) ObserveN(name string, v, n int64) {
+	if s == nil || n <= 0 {
+		return
+	}
+	h := s.h[name]
+	if h == nil {
+		h = &hist{}
+		s.h[name] = h
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count += n
+	h.sum += v * n
+	i := 0
+	for i < HistBuckets-1 && v > int64(1)<<uint(i) {
+		i++
+	}
+	h.buckets[i] += n
+}
+
 // HistBuckets is the number of histogram buckets: bucket i counts
 // observations ≤ 2^i, with the final bucket absorbing overflow.
 const HistBuckets = 16

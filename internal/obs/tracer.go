@@ -119,6 +119,27 @@ func (t *Tracer) NameLane(tid int, name string) {
 	t.mu.Unlock()
 }
 
+// Epoch returns the tracer's event-clock origin, so sibling exporters
+// (worker-state timelines) can share it and line up in the viewer. The
+// zero time on a nil tracer.
+func (t *Tracer) Epoch() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.epoch
+}
+
+// AddEvents appends pre-built events (a TimelineSet export) to the
+// trace. No-op on a nil tracer.
+func (t *Tracer) AddEvents(evs []Event) {
+	if t == nil || len(evs) == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, evs...)
+	t.mu.Unlock()
+}
+
 // Len reports the number of recorded events (metadata included).
 func (t *Tracer) Len() int {
 	if t == nil {

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWaitHistObserve checks the bucket layout: bucket i counts waits
+// ≤ 2^i ns, the overflow bucket absorbs the rest.
+func TestWaitHistObserve(t *testing.T) {
+	h := &WaitHist{name: "r"}
+	h.Observe(0)                    // bucket 0
+	h.Observe(1)                    // bucket 0
+	h.Observe(2)                    // bucket 1 (len64(2)=2... ≤ 4)
+	h.Observe(1000)                 // ~2^10
+	h.Observe(3 * time.Second)      // past bucket 31: overflow
+	h.Observe(-5 * time.Nanosecond) // clamped to 0
+
+	s := h.Snapshot()
+	if s.Resource != "r" {
+		t.Errorf("resource = %q", s.Resource)
+	}
+	if s.Count != 6 {
+		t.Errorf("count = %d, want 6", s.Count)
+	}
+	if s.MaxNS != (3 * time.Second).Nanoseconds() {
+		t.Errorf("max = %d", s.MaxNS)
+	}
+	wantSum := int64(1 + 2 + 1000 + 3e9)
+	if s.SumNS != wantSum {
+		t.Errorf("sum = %d, want %d", s.SumNS, wantSum)
+	}
+	var total int64
+	for _, b := range s.Buckets {
+		total += b
+	}
+	if total != s.Count {
+		t.Errorf("bucket total %d != count %d", total, s.Count)
+	}
+	if len(s.Buckets) != WaitBuckets {
+		t.Errorf("3s wait should land in the overflow bucket (len %d), got %d buckets", WaitBuckets, len(s.Buckets))
+	}
+	if s.Buckets[0] != 3 {
+		t.Errorf("bucket 0 = %d, want 3 (0ns, 1ns and clamped negative)", s.Buckets[0])
+	}
+}
+
+// TestTimedMutexRecordsContention holds the lock on one goroutine while
+// another Locks: the waiter's blocked time must land in the histogram,
+// and uncontended acquisitions must record nothing.
+func TestTimedMutexRecordsContention(t *testing.T) {
+	h := &WaitHist{name: "mu"}
+	var m TimedMutex
+	m.H = h
+
+	m.Lock()
+	m.Unlock()
+	if n := h.Snapshot().Count; n != 0 {
+		t.Fatalf("uncontended TryLock path recorded %d waits", n)
+	}
+
+	m.Lock()
+	done := make(chan struct{})
+	go func() {
+		m.Lock() // blocks until the holder releases
+		m.Unlock()
+		close(done)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	m.Unlock()
+	<-done
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("contended lock recorded %d waits, want 1", s.Count)
+	}
+	if s.SumNS < (2 * time.Millisecond).Nanoseconds() {
+		t.Errorf("blocked wait = %dns, want >= 2ms", s.SumNS)
+	}
+}
+
+// TestTimedSendRecv checks both helpers: blocked operations record,
+// fast-path operations on a ready channel record nothing, and a closed
+// channel still reports ok=false.
+func TestTimedSendRecv(t *testing.T) {
+	sendH := &WaitHist{name: "send"}
+	recvH := &WaitHist{name: "recv"}
+	ch := make(chan int) // unbuffered: every op blocks without a partner
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(3 * time.Millisecond)
+		v, ok := TimedRecv(ch, recvH)
+		if !ok || v != 42 {
+			t.Errorf("recv = %d,%v", v, ok)
+		}
+	}()
+	TimedSend(ch, 42, sendH)
+	wg.Wait()
+	if n := sendH.Snapshot().Count; n != 1 {
+		t.Errorf("blocked send recorded %d waits, want 1", n)
+	}
+
+	// Fast path: buffered channel with room — no wait recorded.
+	buf := make(chan int, 1)
+	TimedSend(buf, 7, sendH)
+	if v, ok := TimedRecv(buf, recvH); !ok || v != 7 {
+		t.Errorf("buffered recv = %d,%v", v, ok)
+	}
+	if n := sendH.Snapshot().Count; n != 1 {
+		t.Errorf("fast-path send recorded a wait (count %d)", n)
+	}
+
+	close(ch)
+	if _, ok := TimedRecv(ch, recvH); ok {
+		t.Error("recv on closed channel reported ok")
+	}
+}
+
+// TestWaitProfileAddTo folds a profile into a Stats registry and checks
+// the series appears with matching count and a sane Prometheus render.
+func TestWaitProfileAddTo(t *testing.T) {
+	p := NewWaitProfile()
+	h := p.Hist("pool")
+	for i := 0; i < 5; i++ {
+		h.Observe(time.Duration(100 << i))
+	}
+	st := NewStats()
+	p.AddTo(st)
+	snap := st.Snapshot()
+	hs, ok := snap.Hists["wait/pool_ns"]
+	if !ok {
+		t.Fatalf("wait/pool_ns not folded; hists: %v", snap.Hists)
+	}
+	if hs.Count != 5 {
+		t.Errorf("folded count = %d, want 5", hs.Count)
+	}
+	var sb strings.Builder
+	if err := snap.WritePrometheus(&sb, "t_"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "t_wait_pool_ns_count 5") {
+		t.Errorf("prometheus output missing folded histogram:\n%s", sb.String())
+	}
+}
+
+// TestWaitDisabledZeroAlloc proves the nil fast paths are free.
+func TestWaitDisabledZeroAlloc(t *testing.T) {
+	var h *WaitHist
+	var p *WaitProfile
+	ch := make(chan int, 1)
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(time.Microsecond)
+		p.Hist("x").Observe(0)
+		TimedSend(ch, 1, nil)
+		<-ch
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled wait path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// TestRuntimeSample sanity-checks the runtime bridge: a live process has
+// goroutines, and Delta subtracts cumulative fields.
+func TestRuntimeSample(t *testing.T) {
+	s := SampleRuntime()
+	if s.Goroutines < 1 {
+		t.Errorf("goroutines = %d, want >= 1", s.Goroutines)
+	}
+	if s.When.IsZero() {
+		t.Error("sample has zero timestamp")
+	}
+	d := SampleRuntime().Delta(s)
+	if d.GCCycles < 0 {
+		t.Errorf("delta GC cycles negative: %d", d.GCCycles)
+	}
+	if d.Goroutines < 1 {
+		t.Errorf("delta keeps instantaneous goroutines, got %d", d.Goroutines)
+	}
+	st := NewStats()
+	s.AddTo(st)
+	if _, ok := st.Snapshot().Counters["go/goroutines"]; !ok {
+		t.Error("AddTo did not record go/goroutines")
+	}
+}

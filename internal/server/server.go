@@ -24,8 +24,11 @@
 //
 // /healthz is liveness, /readyz readiness (not-ready while draining or
 // with every breaker open), and /metrics exports the obs counter registry
-// plus queue-depth, breaker-state and cache gauges in Prometheus text
-// format.
+// — including the request latency histograms (cell latency, queue wait)
+// — plus queue-depth, breaker-state and cache gauges in Prometheus text
+// format. /debug/obs serves the same data as one live JSON document,
+// with a runtime/metrics sample and the pipeline's shared-resource wait
+// histograms folded in.
 package server
 
 import (
@@ -34,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -82,6 +86,10 @@ type Config struct {
 	Tracer *obs.Tracer
 	// MetricsPrefix prefixes every /metrics series. Default "bschedd_".
 	MetricsPrefix string
+	// Logger receives structured request/error logs; every line carries
+	// the request ID, so a journal entry, a log line and an error body
+	// join on it. Nil discards.
+	Logger *slog.Logger
 }
 
 // Server serves compile/simulate requests. Create with New.
@@ -105,6 +113,11 @@ type Server struct {
 	// goroutine-safe, so every touch holds statsMu.
 	statsMu sync.Mutex
 	stats   *obs.Stats
+
+	// waits aggregates the pipeline's shared-resource wait histograms
+	// (machine pool, front-end cache) across every served cell, via
+	// exp.Options.Contention. Lock-free; served by /debug/obs.
+	waits *obs.WaitProfile
 
 	mu       sync.Mutex
 	draining bool
@@ -140,6 +153,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MetricsPrefix == "" {
 		cfg.MetricsPrefix = "bschedd_"
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	jnl, err := openRequestJournal(cfg.Journal)
 	if err != nil {
 		return nil, err
@@ -157,6 +173,7 @@ func New(cfg Config) (*Server, error) {
 		admit:      make(chan struct{}, cfg.Queue),
 		work:       make(chan struct{}, cfg.Workers),
 		stats:      obs.NewStats(),
+		waits:      obs.NewWaitProfile(),
 	}, nil
 }
 
@@ -168,6 +185,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/obs", s.handleDebugObs)
 	return mux
 }
 
@@ -176,6 +194,15 @@ func (s *Server) count(name string) { s.countN(name, 1) }
 func (s *Server) countN(name string, n int64) {
 	s.statsMu.Lock()
 	s.stats.Add(name, n)
+	s.statsMu.Unlock()
+}
+
+// observe records v into histogram name — the path that puts the
+// latency distributions on /metrics (counters alone cannot answer "how
+// long do requests queue?", which is exactly the question under load).
+func (s *Server) observe(name string, v int64) {
+	s.statsMu.Lock()
+	s.stats.Observe(name, v)
 	s.statsMu.Unlock()
 }
 
@@ -196,6 +223,9 @@ type reqError struct {
 
 // errorBody is the JSON error document every non-2xx response carries.
 type errorBody struct {
+	// RequestID echoes the request's ID (X-Request-Id or minted), so an
+	// error body joins against the request journal and the server log.
+	RequestID string `json:"request_id,omitempty"`
 	// Kind classifies the failure: bad_request, shed, draining,
 	// breaker_open, fault, verify, timeout or canceled.
 	Kind string `json:"kind"`
@@ -306,9 +336,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func (s *Server) writeError(w http.ResponseWriter, e *reqError) {
+func (s *Server) writeError(w http.ResponseWriter, id string, e *reqError) {
+	s.cfg.Logger.Warn("request failed",
+		"request_id", id, "kind", e.kind, "status", e.status,
+		"bench", e.bench, "config", e.config, "phase", e.phase,
+		"err", e.msg)
 	body := errorBody{
-		Kind: e.kind, Error: e.msg,
+		RequestID: id,
+		Kind:      e.kind, Error: e.msg,
 		Bench: e.bench, Config: e.config, Phase: e.phase,
 	}
 	if e.retryAfter > 0 {
@@ -355,7 +390,7 @@ func cellKey(bench string, cfg core.Config, verifyFlag bool) string {
 // share, or a fresh pipeline execution behind admission control and the
 // benchmark's circuit breaker. cache reports how the bytes were obtained
 // ("hit", "shared" or "miss").
-func (s *Server) cell(ctx context.Context, bench string, cfg core.Config, verifyFlag bool) (body []byte, cache string, rerr *reqError) {
+func (s *Server) cell(ctx context.Context, id, bench string, cfg core.Config, verifyFlag bool) (body []byte, cache string, rerr *reqError) {
 	key := cellKey(bench, cfg, verifyFlag)
 	if b, ok := s.cache.get(key); ok {
 		s.count("server/cache_hits")
@@ -381,7 +416,7 @@ func (s *Server) cell(ctx context.Context, bench string, cfg core.Config, verify
 				return nil, "", ctxError(ctx.Err(), bench, cfg.Name(), "queue")
 			}
 		}
-		body, rerr := s.compute(ctx, bench, cfg, verifyFlag)
+		body, rerr := s.compute(ctx, id, bench, cfg, verifyFlag)
 		if rerr == nil {
 			s.cache.add(key, body)
 		}
@@ -394,15 +429,15 @@ func (s *Server) cell(ctx context.Context, bench string, cfg core.Config, verify
 // queue is full), breaker check, worker slot (waiting here is "queued"
 // time charged against the request's deadline), then the fault-isolated
 // cell execution.
-func (s *Server) compute(ctx context.Context, bench string, cfg core.Config, verifyFlag bool) ([]byte, *reqError) {
+func (s *Server) compute(ctx context.Context, id, bench string, cfg core.Config, verifyFlag bool) ([]byte, *reqError) {
 	select {
 	case s.admit <- struct{}{}:
 	default:
 		s.count("server/shed")
 		return nil, &reqError{
 			status: http.StatusTooManyRequests, kind: "shed",
-			msg:        fmt.Sprintf("admission queue full (%d items)", cap(s.admit)),
-			bench:      bench, config: cfg.Name(),
+			msg:   fmt.Sprintf("admission queue full (%d items)", cap(s.admit)),
+			bench: bench, config: cfg.Name(),
 			retryAfter: time.Second,
 		}
 	}
@@ -413,20 +448,27 @@ func (s *Server) compute(ctx context.Context, bench string, cfg core.Config, ver
 		s.count("server/breaker_rejects")
 		return nil, &reqError{
 			status: http.StatusServiceUnavailable, kind: "breaker_open",
-			msg:        fmt.Sprintf("circuit breaker open for %s", bench),
-			bench:      bench, config: cfg.Name(),
+			msg:   fmt.Sprintf("circuit breaker open for %s", bench),
+			bench: bench, config: cfg.Name(),
 			retryAfter: retry,
 		}
 	}
 
+	queued := time.Now()
 	select {
 	case s.work <- struct{}{}:
 	case <-ctx.Done():
 		brk.cancelProbe()
 		return nil, ctxError(ctx.Err(), bench, cfg.Name(), "queue")
 	}
-	res, err := s.runner.Run(ctx, bench, cfg, exp.Options{Verify: verifyFlag || s.cfg.Verify})
+	s.observe("server/queue_wait_ms", time.Since(queued).Milliseconds())
+	runStart := time.Now()
+	res, err := s.runner.Run(ctx, bench, cfg, exp.Options{
+		Verify:     verifyFlag || s.cfg.Verify,
+		Contention: &obs.Contention{Waits: s.waits},
+	})
 	<-s.work
+	s.observe("server/cell_latency_ms", time.Since(runStart).Milliseconds())
 
 	if err != nil {
 		var ce *exp.CellError
@@ -449,9 +491,12 @@ func (s *Server) compute(ctx context.Context, bench string, cfg core.Config, ver
 				s.count("server/breaker_opens")
 			}
 			s.count("server/verify_failures")
+			s.cfg.Logger.Error("verification failure",
+				"request_id", id, "bench", bench, "config", cfg.Name(),
+				"phase", ce.Phase, "err", ce.Error())
 			return nil, &reqError{
 				status: http.StatusInternalServerError, kind: "verify",
-				msg:   ce.Error(),
+				msg:   fmt.Sprintf("request %s: %s", id, ce.Error()),
 				bench: bench, config: cfg.Name(), phase: ce.Phase,
 			}
 		default:
@@ -461,10 +506,13 @@ func (s *Server) compute(ctx context.Context, bench string, cfg core.Config, ver
 				s.count("server/breaker_opens")
 			}
 			s.count("server/faults")
+			s.cfg.Logger.Error("pipeline fault",
+				"request_id", id, "bench", bench, "config", cfg.Name(),
+				"phase", ce.Phase, "err", ce.Error())
 			return nil, &reqError{
 				status: http.StatusServiceUnavailable, kind: "fault",
-				msg:        ce.Error(),
-				bench:      bench, config: cfg.Name(), phase: ce.Phase,
+				msg:   fmt.Sprintf("request %s: %s", id, ce.Error()),
+				bench: bench, config: cfg.Name(), phase: ce.Phase,
 				retryAfter: time.Second,
 			}
 		}
@@ -496,11 +544,11 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	defer sp.End()
 	s.count("server/requests")
 	if r.Method != http.MethodPost {
-		s.writeError(w, &reqError{status: http.StatusMethodNotAllowed, kind: "bad_request", msg: "POST only"})
+		s.writeError(w, id, &reqError{status: http.StatusMethodNotAllowed, kind: "bad_request", msg: "POST only"})
 		return
 	}
 	if !s.enter() {
-		s.writeError(w, &reqError{status: http.StatusServiceUnavailable, kind: "draining", msg: "server is draining", retryAfter: time.Second})
+		s.writeError(w, id, &reqError{status: http.StatusServiceUnavailable, kind: "draining", msg: "server is draining", retryAfter: time.Second})
 		return
 	}
 	defer s.leave()
@@ -514,29 +562,29 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	var req compileRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
 		rec.Status, rec.Kind = http.StatusBadRequest, "bad_request"
-		s.writeError(w, badRequest("decoding request: %v", err))
+		s.writeError(w, id, badRequest("decoding request: %v", err))
 		return
 	}
 	rec.Bench, rec.Config = req.Bench, req.Config
 	if _, err := workload.ByName(req.Bench); err != nil {
 		rec.Status, rec.Kind = http.StatusBadRequest, "bad_request"
-		s.writeError(w, badRequest("%v", err))
+		s.writeError(w, id, badRequest("%v", err))
 		return
 	}
 	cfg, err := core.ParseConfig(req.Config)
 	if err != nil {
 		rec.Status, rec.Kind = http.StatusBadRequest, "bad_request"
-		s.writeError(w, badRequest("%v", err))
+		s.writeError(w, id, badRequest("%v", err))
 		return
 	}
 	sp.Arg("bench", req.Bench).Arg("config", cfg.Name())
 
 	ctx, cancel := s.requestCtx(r, req.DeadlineMS)
 	defer cancel()
-	body, cache, rerr := s.cell(ctx, req.Bench, cfg, req.Verify)
+	body, cache, rerr := s.cell(ctx, id, req.Bench, cfg, req.Verify)
 	if rerr != nil {
 		rec.Status, rec.Kind = rerr.status, rerr.kind
-		s.writeError(w, rerr)
+		s.writeError(w, id, rerr)
 		return
 	}
 	if cache == "miss" {
@@ -544,6 +592,9 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	s.count("server/ok")
 	rec.Status, rec.Cache = http.StatusOK, cache
+	s.cfg.Logger.Info("compile served",
+		"request_id", id, "bench", req.Bench, "config", cfg.Name(),
+		"cache", cache, "duration_ms", time.Since(start).Milliseconds())
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", cache)
 	w.WriteHeader(http.StatusOK)
@@ -558,11 +609,11 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 	defer sp.End()
 	s.count("server/requests")
 	if r.Method != http.MethodPost {
-		s.writeError(w, &reqError{status: http.StatusMethodNotAllowed, kind: "bad_request", msg: "POST only"})
+		s.writeError(w, id, &reqError{status: http.StatusMethodNotAllowed, kind: "bad_request", msg: "POST only"})
 		return
 	}
 	if !s.enter() {
-		s.writeError(w, &reqError{status: http.StatusServiceUnavailable, kind: "draining", msg: "server is draining", retryAfter: time.Second})
+		s.writeError(w, id, &reqError{status: http.StatusServiceUnavailable, kind: "draining", msg: "server is draining", retryAfter: time.Second})
 		return
 	}
 	defer s.leave()
@@ -576,18 +627,18 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 	var req gridRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
 		rec.Status, rec.Kind = http.StatusBadRequest, "bad_request"
-		s.writeError(w, badRequest("decoding request: %v", err))
+		s.writeError(w, id, badRequest("decoding request: %v", err))
 		return
 	}
 	if len(req.Benches) == 0 {
 		rec.Status, rec.Kind = http.StatusBadRequest, "bad_request"
-		s.writeError(w, badRequest("no benchmarks requested"))
+		s.writeError(w, id, badRequest("no benchmarks requested"))
 		return
 	}
 	for _, b := range req.Benches {
 		if _, err := workload.ByName(b); err != nil {
 			rec.Status, rec.Kind = http.StatusBadRequest, "bad_request"
-			s.writeError(w, badRequest("%v", err))
+			s.writeError(w, id, badRequest("%v", err))
 			return
 		}
 	}
@@ -599,7 +650,7 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 			cfg, err := core.ParseConfig(name)
 			if err != nil {
 				rec.Status, rec.Kind = http.StatusBadRequest, "bad_request"
-				s.writeError(w, badRequest("%v", err))
+				s.writeError(w, id, badRequest("%v", err))
 				return
 			}
 			cfgs = append(cfgs, cfg)
@@ -622,7 +673,7 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 				resp.Cells = append(resp.Cells, cell)
 				continue
 			}
-			body, _, rerr := s.cell(ctx, bench, cfg, req.Verify)
+			body, _, rerr := s.cell(ctx, id, bench, cfg, req.Verify)
 			if rerr != nil {
 				cell.Error, cell.Kind, cell.Phase = rerr.msg, rerr.kind, rerr.phase
 				resp.Cells = append(resp.Cells, cell)
@@ -640,6 +691,15 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 	}
 	s.count("server/ok")
 	rec.Status = http.StatusOK
+	failed := 0
+	for _, c := range resp.Cells {
+		if c.Error != "" {
+			failed++
+		}
+	}
+	s.cfg.Logger.Info("grid served",
+		"request_id", id, "cells", len(resp.Cells), "failed", failed,
+		"duration_ms", time.Since(start).Milliseconds())
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -696,6 +756,63 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for bench, st := range s.brk.states() {
 		gw.Gauge(s.cfg.MetricsPrefix+"breaker_state", map[string]string{"bench": bench}, int64(st))
 	}
+}
+
+// debugObsDoc is the /debug/obs response: one JSON document joining the
+// server's counter/histogram registry, point-in-time gauges, the Go
+// runtime bridge, and the pipeline's shared-resource wait histograms —
+// the live complement to paperbench -scalereport for a daemon you
+// cannot restart under a measurement harness.
+type debugObsDoc struct {
+	// Stats is the counter/histogram registry (the same data /metrics
+	// renders as Prometheus text, here as structured JSON).
+	Stats *obs.Snapshot `json:"stats"`
+	// Gauges are instantaneous values: queue depth, busy workers, cache
+	// occupancy, machine-pool hits/misses, draining.
+	Gauges map[string]int64 `json:"gauges"`
+	// Breakers maps benchmark to its circuit-breaker state name.
+	Breakers map[string]string `json:"breakers"`
+	// Runtime is a live runtime/metrics sample (goroutines, GC, sched
+	// latency).
+	Runtime obs.RuntimeSample `json:"runtime"`
+	// Contention carries the pipeline's wait histograms. Timelines is
+	// null: the server's work is request-shaped, not worker-loop-shaped,
+	// so only the resource waits apply.
+	Contention *obs.ContentionSnapshot `json:"contention"`
+}
+
+func (s *Server) handleDebugObs(w http.ResponseWriter, r *http.Request) {
+	s.statsMu.Lock()
+	snap := s.stats.Snapshot()
+	s.statsMu.Unlock()
+	s.mu.Lock()
+	draining := int64(0)
+	if s.draining {
+		draining = 1
+	}
+	s.mu.Unlock()
+	poolHits, poolMisses := sim.PoolCounters()
+	breakers := map[string]string{}
+	for bench, st := range s.brk.states() {
+		breakers[bench] = breakerStateName(st)
+	}
+	doc := debugObsDoc{
+		Stats: snap,
+		Gauges: map[string]int64{
+			"queue_depth":         int64(len(s.admit)),
+			"queue_capacity":      int64(cap(s.admit)),
+			"workers_busy":        int64(len(s.work)),
+			"workers_capacity":    int64(cap(s.work)),
+			"cache_entries":       int64(s.cache.len()),
+			"draining":            draining,
+			"machine_pool_hits":   poolHits,
+			"machine_pool_misses": poolMisses,
+		},
+		Breakers:   breakers,
+		Runtime:    obs.SampleRuntime(),
+		Contention: &obs.ContentionSnapshot{Waits: s.waits.Snapshot()},
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 // StartDrain flips the server into draining mode: /readyz goes not-ready

@@ -1,10 +1,10 @@
 package sim
 
 import (
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/ir"
+	"repro/internal/obs"
 )
 
 // poolHits and poolMisses aggregate Get outcomes across every pool in the
@@ -31,10 +31,21 @@ func PoolCounters() (hits, misses int64) {
 // benchmark's memory image and the grid's 16 configurations share a
 // handful of machines instead of allocating 16.
 type Pool struct {
-	mu   sync.Mutex
+	// mu guards free; it is a TimedMutex so grid-wide contention on the
+	// shared per-benchmark pool is attributable (SetWaitHist). With no
+	// histogram attached it behaves like a plain sync.Mutex.
+	mu   obs.TimedMutex
 	free []*Machine
 
 	hits, misses atomic.Int64
+}
+
+// SetWaitHist attributes future lock contention on the pool to h. Call
+// before the pool is used concurrently (the experiment engine sets it
+// while building the benchmark front-end, whose once-barrier
+// happens-before every worker's first Get).
+func (p *Pool) SetWaitHist(h *obs.WaitHist) {
+	p.mu.H = h
 }
 
 // maxPoolFree bounds each pool's idle machines; beyond it Put drops the

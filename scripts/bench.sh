@@ -7,14 +7,14 @@
 #   COUNT     repetitions per benchmark (default 3)
 #   BENCHTIME go test -benchtime value (default the Go default, 1s;
 #             CI's bench-smoke uses 1x for a fast existence check)
-#   OUT       output JSON path (default BENCH_5.json in the repo root)
+#   OUT       output JSON path (default BENCH_7.json in the repo root)
 set -eu
 
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-3}"
 BENCHTIME="${BENCHTIME:-}"
-OUT="${OUT:-BENCH_5.json}"
+OUT="${OUT:-BENCH_7.json}"
 
 ARGS="-run ^$ -bench Simulator|GridEngine|ListSchedule|BalancedWeights -benchmem -count=$COUNT"
 if [ -n "$BENCHTIME" ]; then
