@@ -2,13 +2,35 @@
 // HTTP server that compiles, schedules and simulates workload benchmarks
 // on request, built on the same cell engine as paperbench.
 //
-// Usage:
+// Usage (worker mode, the default):
 //
 //	bschedd [-addr :8344] [-queue N] [-workers N] [-deadline d] [-max-deadline d]
 //	        [-cache N] [-breaker-threshold N] [-breaker-cooldown d]
 //	        [-drain-timeout d] [-journal reqs.jsonl] [-verify]
+//	        [-max-body N] [-read-header-timeout d]
 //	        [-faultspec spec] [-faultseed N] [-tracefile out.json] [-v]
 //	        [-log-level debug|info|warn|error]
+//
+// Usage (coordinator mode):
+//
+//	bschedd -coordinator -workers host:port,host:port,...
+//	        [-addr :8344] [-inflight N] [-attempts N] [-hedge-after d]
+//	        [-probe-interval d] [-probe-max-interval d]
+//	        [-breaker-threshold N] [-breaker-cooldown d]
+//	        [-journal cells.jsonl] [-resume] [-drain-timeout d] [-v]
+//
+// In coordinator mode bschedd serves the same endpoints but executes
+// nothing itself: /v1/grid cells shard across the worker fleet by
+// consistent hash on benchmark name (keeping each worker's per-benchmark
+// front-end and result caches hot), health-checked via /readyz with
+// exponential-backoff probing, dispatched under bounded per-worker
+// in-flight windows with per-cell retry, jittered backoff, failover to
+// the next healthy worker, and hedged dispatch for stragglers. When
+// every replica of a cell is exhausted the cell degrades to a structured
+// error entry — the grid never fails whole. /v1/grid?stream=jsonl (or
+// sse) streams cells as they finish. The -workers flag is the fleet
+// roster: a comma-separated host:port list (in worker mode the same flag
+// is the pipeline concurrency bound).
 //
 // Endpoints:
 //
@@ -45,10 +67,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/server"
 )
@@ -61,15 +86,24 @@ func realMain(args []string) int {
 	fs := flag.NewFlagSet("bschedd", flag.ContinueOnError)
 	addr := fs.String("addr", ":8344", "listen address")
 	queue := fs.Int("queue", 64, "admission queue capacity (excess requests are shed with 429)")
-	workers := fs.Int("workers", 0, "max concurrently executing pipeline runs (0 = GOMAXPROCS)")
+	workers := fs.String("workers", "", "worker mode: max concurrently executing pipeline runs (0 = GOMAXPROCS); coordinator mode: comma-separated worker host:port list")
+	coordinator := fs.Bool("coordinator", false, "run as a fleet coordinator sharding grid cells across -workers instead of executing locally")
 	deadline := fs.Duration("deadline", 30*time.Second, "default per-request deadline")
 	maxDeadline := fs.Duration("max-deadline", 2*time.Minute, "ceiling on client-requested deadlines")
 	cache := fs.Int("cache", 256, "result-cache capacity (entries)")
-	brkThreshold := fs.Int("breaker-threshold", 3, "consecutive pipeline faults that open a benchmark's breaker")
+	brkThreshold := fs.Int("breaker-threshold", 3, "consecutive faults that open a breaker (per benchmark in worker mode, per worker in coordinator mode)")
 	brkCooldown := fs.Duration("breaker-cooldown", 5*time.Second, "open-breaker cooldown before a half-open probe")
 	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "grace period for in-flight work on SIGTERM/SIGINT")
-	journal := fs.String("journal", "", "append each finished request to this JSONL journal")
+	journal := fs.String("journal", "", "append each finished request (worker) or cell (coordinator) to this JSONL journal")
+	resume := fs.Bool("resume", false, "coordinator: replay completed cells from -journal instead of re-dispatching them")
 	verifyFlag := fs.Bool("verify", false, "run structural invariant verifiers inside every request")
+	maxBody := fs.Int64("max-body", 1<<20, "request-body size limit in bytes (413 beyond it)")
+	readHeaderTimeout := fs.Duration("read-header-timeout", 5*time.Second, "HTTP header read timeout (slow-loris protection)")
+	inflight := fs.Int("inflight", 8, "coordinator: bounded in-flight dispatch window per worker")
+	attempts := fs.Int("attempts", 0, "coordinator: max dispatch attempts per cell (0 = 2x fleet size)")
+	hedgeAfter := fs.Duration("hedge-after", 2*time.Second, "coordinator: hedge a straggler cell onto the next replica after this long (0 disables)")
+	probeInterval := fs.Duration("probe-interval", 500*time.Millisecond, "coordinator: /readyz health-check cadence for healthy workers")
+	probeMaxInterval := fs.Duration("probe-max-interval", 8*time.Second, "coordinator: exponential probe-backoff ceiling for unhealthy workers")
 	faultSpec := fs.String("faultspec", "", "deterministic fault-injection plan (chaos drills)")
 	faultSeed := fs.Int64("faultseed", 1, "seed for probabilistic fault-injection decisions")
 	traceFile := fs.String("tracefile", "", "write a Chrome trace-event JSON timeline of served requests at exit")
@@ -101,22 +135,67 @@ func realMain(args []string) int {
 		tracer = obs.NewTracer()
 	}
 
-	srv, err := server.New(server.Config{
-		Queue:            *queue,
-		Workers:          *workers,
-		DefaultDeadline:  *deadline,
-		MaxDeadline:      *maxDeadline,
-		CacheEntries:     *cache,
-		BreakerThreshold: *brkThreshold,
-		BreakerCooldown:  *brkCooldown,
-		Journal:          *journal,
-		Verify:           *verifyFlag,
-		Tracer:           tracer,
-		Logger:           logger,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "bschedd:", err)
-		return 1
+	// Both modes expose the same lifecycle: a handler to serve and a
+	// drain to run on SIGTERM.
+	var handler http.Handler
+	var drain func(context.Context) error
+	if *coordinator {
+		var fleetAddrs []string
+		for _, a := range strings.Split(*workers, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				fleetAddrs = append(fleetAddrs, a)
+			}
+		}
+		coord, err := fleet.New(fleet.Config{
+			Workers:          fleetAddrs,
+			Inflight:         *inflight,
+			Attempts:         *attempts,
+			HedgeAfter:       *hedgeAfter,
+			ProbeInterval:    *probeInterval,
+			ProbeMaxInterval: *probeMaxInterval,
+			BreakerThreshold: *brkThreshold,
+			BreakerCooldown:  *brkCooldown,
+			DefaultDeadline:  *deadline,
+			MaxDeadline:      *maxDeadline,
+			MaxBodyBytes:     *maxBody,
+			Journal:          *journal,
+			Resume:           *resume,
+			Logger:           logger,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bschedd:", err)
+			return 1
+		}
+		handler, drain = coord.Handler(), coord.Drain
+	} else {
+		pipelineWorkers := 0
+		if *workers != "" {
+			n, err := strconv.Atoi(*workers)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bschedd: -workers %q: want an integer in worker mode (a host:port list needs -coordinator)\n", *workers)
+				return 1
+			}
+			pipelineWorkers = n
+		}
+		srv, err := server.New(server.Config{
+			Queue:            *queue,
+			Workers:          pipelineWorkers,
+			DefaultDeadline:  *deadline,
+			MaxDeadline:      *maxDeadline,
+			CacheEntries:     *cache,
+			BreakerThreshold: *brkThreshold,
+			BreakerCooldown:  *brkCooldown,
+			MaxBodyBytes:     *maxBody,
+			Journal:          *journal,
+			Verify:           *verifyFlag,
+			Tracer:           tracer,
+			Logger:           logger,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bschedd:", err)
+			return 1
+		}
+		handler, drain = srv.Handler(), srv.Drain
 	}
 
 	// Listen explicitly (rather than ListenAndServe) so ":0" works and the
@@ -127,14 +206,18 @@ func realMain(args []string) int {
 		fmt.Fprintln(os.Stderr, "bschedd:", err)
 		return 1
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpSrv := server.NewHTTPServer(handler, *readHeaderTimeout)
 	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 	if *verbose {
-		fmt.Fprintf(os.Stderr, "bschedd: serving on %s (queue %d)\n", ln.Addr(), *queue)
+		if *coordinator {
+			fmt.Fprintf(os.Stderr, "bschedd: coordinating on %s (workers %s)\n", ln.Addr(), *workers)
+		} else {
+			fmt.Fprintf(os.Stderr, "bschedd: serving on %s (queue %d)\n", ln.Addr(), *queue)
+		}
 	}
 
 	select {
@@ -154,7 +237,7 @@ func realMain(args []string) int {
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	code := 0
-	if err := srv.Drain(drainCtx); err != nil {
+	if err := drain(drainCtx); err != nil {
 		fmt.Fprintln(os.Stderr, "bschedd: journal:", err)
 		code = 1
 	}

@@ -66,9 +66,19 @@ func (w *journalWriter) close() error {
 }
 
 // readJournal loads a cell journal for -resume. A missing file is an
-// empty journal. Parsing stops at the first malformed line — the torn
-// tail of an interrupted run — and keeps every entry before it.
+// empty journal.
 func readJournal(path string) ([]journalEntry, error) {
+	return ReadJSONLines[journalEntry](path)
+}
+
+// ReadJSONLines loads a JSONL file written by an append-only journal,
+// tolerating the torn tail of an interrupted run: a missing file is an
+// empty journal, blank lines are skipped, and parsing stops at the
+// first malformed line, keeping every entry before it. Every journal in
+// the system — the grid engine's cell journal, bschedd's request
+// journal, the fleet coordinator's cell journal — resumes through this
+// one reader so they all share the same crash-tolerance contract.
+func ReadJSONLines[T any](path string) ([]T, error) {
 	data, err := os.ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, nil
@@ -76,12 +86,12 @@ func readJournal(path string) ([]journalEntry, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []journalEntry
+	var out []T
 	for _, line := range strings.Split(string(data), "\n") {
 		if strings.TrimSpace(line) == "" {
 			continue
 		}
-		var e journalEntry
+		var e T
 		if err := json.Unmarshal([]byte(line), &e); err != nil {
 			break
 		}

@@ -1,0 +1,461 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/server"
+)
+
+// killSwitch wraps a worker's handler with a remotely armed death: once
+// armed, the worker serves dieAfter more compile requests and then
+// aborts every connection — compiles and health probes alike — exactly
+// like a process that was SIGKILLed mid-grid.
+type killSwitch struct {
+	inner    http.Handler
+	armed    atomic.Bool
+	served   atomic.Int64
+	dieAfter int64
+}
+
+func (k *killSwitch) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if k.armed.Load() {
+		if r.URL.Path == "/v1/compile" {
+			if k.served.Add(1) > k.dieAfter {
+				panic(http.ErrAbortHandler)
+			}
+		} else {
+			panic(http.ErrAbortHandler)
+		}
+	}
+	k.inner.ServeHTTP(w, r)
+}
+
+func startKillableWorker(t *testing.T, dieAfter int64) (string, *killSwitch) {
+	t.Helper()
+	s, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	ks := &killSwitch{inner: s.Handler(), dieAfter: dieAfter}
+	ts := httptest.NewServer(ks)
+	t.Cleanup(ts.Close)
+	return strings.TrimPrefix(ts.URL, "http://"), ks
+}
+
+// TestGridSurvivesWorkerDeathMidGrid is the chaos proof for the fleet:
+// the worker that owns the requested benchmark dies after serving one
+// cell, and the surviving worker completes the grid with zero failed
+// cells — byte-identical to a single-node run — while the retry and
+// failover counters attribute the recovery.
+func TestGridSurvivesWorkerDeathMidGrid(t *testing.T) {
+	addrA, ksA := startKillableWorker(t, 1)
+	addrB, ksB := startKillableWorker(t, 1)
+	c := newCoordinator(t, func(cfg *Config) {
+		cfg.RetryBackoff = 5 * time.Millisecond
+	}, addrA, addrB)
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	// Arm the kill switch on whichever worker owns tomcatv, so the death
+	// deterministically hits the worker mid-way through its own shard.
+	owner := c.workers[c.ring.replicas("tomcatv")[0]].addr
+	if owner == addrA {
+		ksA.armed.Store(true)
+	} else {
+		ksB.armed.Store(true)
+	}
+
+	req := server.GridRequest{
+		Benches: []string{"tomcatv"},
+		Configs: []string{"BS", "TS", "BS+LU4", "BS+TrS"},
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/grid", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("grid: status %d body %s", resp.StatusCode, body)
+	}
+	var grid server.GridResponse
+	if err := json.Unmarshal(body, &grid); err != nil {
+		t.Fatalf("grid body: %v", err)
+	}
+	if len(grid.Cells) != 4 {
+		t.Fatalf("grid holds %d cells, want 4", len(grid.Cells))
+	}
+	for _, cell := range grid.Cells {
+		if cell.Error != "" || cell.Metrics == nil {
+			t.Errorf("cell %s/%s failed despite a surviving worker: kind=%q err=%q",
+				cell.Bench, cell.Config, cell.Kind, cell.Error)
+		}
+	}
+
+	// The recovery must be attributed: transport errors on the dead
+	// worker, retries, and failovers to the survivor.
+	for _, name := range []string{"fleet/worker_errors", "fleet/retries", "fleet/failovers"} {
+		if got := counter(c, name); got == 0 {
+			t.Errorf("%s = 0 after a mid-grid worker death", name)
+		}
+	}
+	if got := counter(c, "fleet/degraded_cells"); got != 0 {
+		t.Errorf("fleet/degraded_cells = %d, want 0 (a worker survived)", got)
+	}
+
+	// Byte-identity with a single-node run, even across the failover.
+	_, soloTS := startWorker(t)
+	_, soloBody := postJSON(t, soloTS.URL+"/v1/grid", req)
+	if !bytes.Equal(body, soloBody) {
+		t.Errorf("failover grid differs from single-node run:\nfleet: %s\nsolo:  %s", body, soloBody)
+	}
+
+	// The counters are observable over HTTP: /metrics as Prometheus
+	// series, /debug/obs as the raw counter registry.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, series := range []string{"bschedd_fleet_retries", "bschedd_fleet_failovers", "bschedd_fleet_worker_errors", "bschedd_fleet_worker_healthy"} {
+		if !strings.Contains(string(metrics), series) {
+			t.Errorf("/metrics missing %s:\n%s", series, metrics)
+		}
+	}
+	oresp, err := http.Get(ts.URL + "/debug/obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var obsDoc struct {
+		Stats struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"stats"`
+		Workers map[string]workerStatus `json:"workers"`
+	}
+	if err := json.NewDecoder(oresp.Body).Decode(&obsDoc); err != nil {
+		t.Fatalf("/debug/obs: %v", err)
+	}
+	oresp.Body.Close()
+	if obsDoc.Stats.Counters["fleet/failovers"] == 0 {
+		t.Error("/debug/obs does not expose fleet/failovers")
+	}
+	if len(obsDoc.Workers) != 2 {
+		t.Errorf("/debug/obs lists %d workers, want 2", len(obsDoc.Workers))
+	}
+}
+
+// TestGridDegradesWhenFleetDies: with every worker dead the grid still
+// answers 200 — each cell a structured degraded row, never a failed
+// grid or a hung request.
+func TestGridDegradesWhenFleetDies(t *testing.T) {
+	addr, ks := startKillableWorker(t, 0)
+	ks.armed.Store(true) // dead from the first request
+	c := newCoordinator(t, func(cfg *Config) {
+		cfg.Attempts = 2
+		cfg.RetryBackoff = 2 * time.Millisecond
+	}, addr)
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	req := server.GridRequest{Benches: []string{"tomcatv"}, Configs: []string{"BS", "TS"}}
+	resp, body := postJSON(t, ts.URL+"/v1/grid", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("grid against a dead fleet: status %d body %s (grids must degrade, not fail)",
+			resp.StatusCode, body)
+	}
+	var grid server.GridResponse
+	if err := json.Unmarshal(body, &grid); err != nil {
+		t.Fatalf("grid body: %v", err)
+	}
+	for _, cell := range grid.Cells {
+		if cell.Kind != "degraded" {
+			t.Errorf("cell %s/%s kind %q, want degraded", cell.Bench, cell.Config, cell.Kind)
+		}
+		if cell.Error == "" {
+			t.Errorf("degraded cell %s/%s carries no error message", cell.Bench, cell.Config)
+		}
+	}
+	if got := counter(c, "fleet/degraded_cells"); got != 2 {
+		t.Errorf("fleet/degraded_cells = %d, want 2", got)
+	}
+
+	// A single compile against the dead fleet is a structured 503 with a
+	// Retry-After, not a hang or a raw error.
+	cresp, cbody := postJSON(t, ts.URL+"/v1/compile",
+		server.CompileRequest{Bench: "tomcatv", Config: "BS"})
+	if cresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("compile: status %d body %s", cresp.StatusCode, cbody)
+	}
+	var eb server.ErrorBody
+	if err := json.Unmarshal(cbody, &eb); err != nil || eb.Kind != "degraded" {
+		t.Errorf("compile failure kind %q (err %v), want degraded", eb.Kind, err)
+	}
+	if cresp.Header.Get("Retry-After") == "" {
+		t.Error("degraded compile carries no Retry-After")
+	}
+}
+
+// stubWorker is a scripted worker for protocol-level tests: it answers
+// /readyz 200 and runs fn for /v1/compile.
+func stubWorker(t *testing.T, fn http.HandlerFunc) string {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		fn(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return strings.TrimPrefix(ts.URL, "http://")
+}
+
+// TestCoordinatorHonorsRetryAfter: a worker shedding load with 429 +
+// Retry-After gets its window respected — the coordinator backs off the
+// worker fleet-wide instead of hammering it from the retry loop.
+func TestCoordinatorHonorsRetryAfter(t *testing.T) {
+	var hits atomic.Int64
+	addr := stubWorker(t, func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_ = json.NewEncoder(w).Encode(server.ErrorBody{Kind: "shed", Error: "queue full", RetryAfterS: 1})
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(`{"bench":"tomcatv","config":"BS","metrics":null}`))
+	})
+	c := newCoordinator(t, func(cfg *Config) { cfg.Attempts = 10 }, addr)
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	start := time.Now()
+	resp, body := postJSON(t, ts.URL+"/v1/compile",
+		server.CompileRequest{Bench: "tomcatv", Config: "BS"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d body %s", resp.StatusCode, body)
+	}
+	if elapsed := time.Since(start); elapsed < 500*time.Millisecond {
+		t.Errorf("request finished in %s; the 1s Retry-After window was not honored", elapsed)
+	}
+	if got := counter(c, "fleet/retry_after_honored"); got != 1 {
+		t.Errorf("fleet/retry_after_honored = %d, want 1", got)
+	}
+	if got := counter(c, "fleet/backoff_waits"); got == 0 {
+		t.Error("fleet/backoff_waits = 0; the retry loop should have waited out the window")
+	}
+	if got := hits.Load(); got != 2 {
+		t.Errorf("worker saw %d compile requests, want 2 (no hammering inside the window)", got)
+	}
+}
+
+// TestHedgedDispatchRescuesStraggler: the benchmark's owner stalls, the
+// hedge fires on the next replica after HedgeAfter, and the fast replica
+// wins without the stalled worker being counted as faulty.
+func TestHedgedDispatchRescuesStraggler(t *testing.T) {
+	var mu sync.Mutex
+	delays := map[string]time.Duration{}
+	mkStub := func() string {
+		// Each stub looks its own delay up by r.Host — its host:port
+		// address — so the script can stall one worker by address.
+		return stubWorker(t, func(w http.ResponseWriter, r *http.Request) {
+			mu.Lock()
+			d := delays[r.Host]
+			mu.Unlock()
+			select {
+			case <-time.After(d):
+			case <-r.Context().Done():
+				return
+			}
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte(`{"bench":"tomcatv","config":"BS","metrics":null}`))
+		})
+	}
+	addrA, addrB := mkStub(), mkStub()
+	c := newCoordinator(t, func(cfg *Config) {
+		cfg.HedgeAfter = 100 * time.Millisecond
+	}, addrA, addrB)
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	// Stall whichever worker owns the benchmark; its replica stays fast.
+	primary := c.workers[c.ring.replicas("tomcatv")[0]].addr
+	hedgeTarget := addrA
+	if primary == addrA {
+		hedgeTarget = addrB
+	}
+	mu.Lock()
+	delays[primary] = 2 * time.Second
+	mu.Unlock()
+
+	start := time.Now()
+	resp, body := postJSON(t, ts.URL+"/v1/compile",
+		server.CompileRequest{Bench: "tomcatv", Config: "BS"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d body %s", resp.StatusCode, body)
+	}
+	if elapsed := time.Since(start); elapsed >= 2*time.Second {
+		t.Errorf("request took %s; the hedge should have beaten the 2s straggler", elapsed)
+	}
+	if got := resp.Header.Get("X-Served-By"); got != hedgeTarget {
+		t.Errorf("X-Served-By = %q, want the hedge target %q", got, hedgeTarget)
+	}
+	if got := counter(c, "fleet/hedges"); got != 1 {
+		t.Errorf("fleet/hedges = %d, want 1", got)
+	}
+	if got := counter(c, "fleet/hedge_wins"); got != 1 {
+		t.Errorf("fleet/hedge_wins = %d, want 1", got)
+	}
+	// The canceled straggler is not a fault: its worker stays healthy and
+	// its breaker closed.
+	for _, w := range c.workers {
+		if w.addr == primary {
+			if !w.healthy.Load() {
+				t.Error("stalled worker marked unhealthy by its canceled hedge loser")
+			}
+			if w.brk.State() != server.BreakerClosed {
+				t.Error("stalled worker's breaker tripped by its canceled hedge loser")
+			}
+		}
+	}
+}
+
+// TestFaultInjectedLinkFailureFailsOver drives the failover path through
+// the seeded fault-injection hook — the same machinery the daemon's
+// -faultspec flag installs: a plan severs every dispatch on the
+// coordinator→owner link, the compile fails over to the replica, and
+// once the plan is lifted the owner is probed back into rotation with no
+// lasting damage.
+func TestFaultInjectedLinkFailureFailsOver(t *testing.T) {
+	addrA, _ := startWorker(t)
+	addrB, _ := startWorker(t)
+	c := newCoordinator(t, func(cfg *Config) {
+		cfg.RetryBackoff = 2 * time.Millisecond
+	}, addrA, addrB)
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	owner := c.workers[c.ring.replicas("tomcatv")[0]].addr
+	replica := addrA
+	if owner == addrA {
+		replica = addrB
+	}
+	plan, err := faultinject.ParseSpec(42, "fleet/dispatch|"+owner+"=error")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	faultinject.Enable(plan)
+	defer faultinject.Disable()
+
+	resp, body := postJSON(t, ts.URL+"/v1/compile",
+		server.CompileRequest{Bench: "tomcatv", Config: "BS"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d body %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Served-By"); got != replica {
+		t.Errorf("X-Served-By = %q, want the replica %q (the owner link is severed)", got, replica)
+	}
+	if got := counter(c, "fleet/worker_errors"); got == 0 {
+		t.Error("fleet/worker_errors = 0; the injected link failure was not attributed")
+	}
+	if got := counter(c, "fleet/failovers"); got == 0 {
+		t.Error("fleet/failovers = 0; dispatch never failed over to the replica")
+	}
+
+	// Lift the plan: the probe loop revives the owner and cache affinity
+	// routes its benchmark back to it.
+	faultinject.Disable()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, _ := postJSON(t, ts.URL+"/v1/compile",
+			server.CompileRequest{Bench: "tomcatv", Config: "BS"})
+		served := resp.Header.Get("X-Served-By")
+		if resp.StatusCode == http.StatusOK && served == owner {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("owner never served again after the fault was lifted (last served by %q)", served)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestWorkerBreakerOpensAndRecovers: a worker that answers health
+// probes but cannot complete a compile exchange (the sick-but-alive
+// case) accumulates transport failures until its worker-level breaker
+// opens; once the worker heals, the cooldown's half-open probe closes
+// the breaker and dispatch resumes.
+func TestWorkerBreakerOpensAndRecovers(t *testing.T) {
+	var healed atomic.Bool
+	addr := stubWorker(t, func(w http.ResponseWriter, r *http.Request) {
+		if !healed.Load() {
+			// Abort the exchange at the transport level: hijack and drop.
+			if hj, ok := w.(http.Hijacker); ok {
+				conn, _, err := hj.Hijack()
+				if err == nil {
+					conn.Close()
+				}
+			}
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(`{"bench":"tomcatv","config":"BS","metrics":null}`))
+	})
+	c := newCoordinator(t, func(cfg *Config) {
+		cfg.Attempts = 4
+		cfg.BreakerThreshold = 2
+		cfg.BreakerCooldown = 200 * time.Millisecond
+		cfg.RetryBackoff = 2 * time.Millisecond
+		cfg.ProbeInterval = 10 * time.Millisecond
+	}, addr)
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	// Hammer compiles until the breaker trips. The probe loop keeps
+	// flipping the worker back to healthy (readyz answers 200), so the
+	// retry loop keeps reaching the worker and the failures accumulate.
+	deadline := time.Now().Add(10 * time.Second)
+	for counter(c, "fleet/worker_breaker_opens") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker breaker never opened under repeated transport failures")
+		}
+		resp, _ := postJSON(t, ts.URL+"/v1/compile",
+			server.CompileRequest{Bench: "tomcatv", Config: "BS"})
+		if resp.StatusCode == http.StatusOK {
+			t.Fatal("compile succeeded against a worker that drops every exchange")
+		}
+		time.Sleep(15 * time.Millisecond)
+	}
+	if got := counter(c, "fleet/worker_errors"); got == 0 {
+		t.Error("fleet/worker_errors = 0 after transport failures")
+	}
+
+	// Heal the worker. After the cooldown the next dispatch is admitted
+	// as the half-open probe, succeeds and closes the breaker.
+	healed.Store(true)
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never closed after the worker healed")
+		}
+		resp, body := postJSON(t, ts.URL+"/v1/compile",
+			server.CompileRequest{Bench: "tomcatv", Config: "BS"})
+		if resp.StatusCode == http.StatusOK {
+			if len(body) == 0 {
+				t.Error("healed compile returned an empty body")
+			}
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if got := c.workers[0].brk.State(); got != server.BreakerClosed {
+		t.Errorf("worker breaker state %s after recovery, want closed",
+			server.BreakerStateName(got))
+	}
+}

@@ -1,0 +1,75 @@
+package fleet
+
+import "sort"
+
+// ring is the coordinator's consistent-hash ring: every worker owns
+// vnodes points on a 64-bit circle, and a benchmark's cells land on the
+// worker owning the first point at or after the benchmark's hash. Two
+// properties matter here:
+//
+//   - Affinity: cells hash by benchmark name (not by full cell key), so
+//     all configurations of one benchmark route to the same worker while
+//     it is healthy — its shared front-end (built program, input data,
+//     edge-profile cache) and LRU result cache stay hot.
+//   - Stable failover order: walking the circle past the owner yields a
+//     deterministic sequence of distinct fallback workers, so retries
+//     and hedges always know "the next worker" without coordination.
+type ring struct {
+	points []ringPoint
+	n      int // distinct workers
+}
+
+type ringPoint struct {
+	h    uint64
+	widx int
+}
+
+// newRing builds a ring over n workers named by addrs, with vnodes
+// virtual points each.
+func newRing(addrs []string, vnodes int) *ring {
+	r := &ring{n: len(addrs)}
+	for i, addr := range addrs {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{h: fnv64(addr, byte(v), byte(v>>8)), widx: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].h != r.points[b].h {
+			return r.points[a].h < r.points[b].h
+		}
+		return r.points[a].widx < r.points[b].widx
+	})
+	return r
+}
+
+// replicas returns every worker index in preference order for key: the
+// ring owner first, then each next distinct worker around the circle.
+func (r *ring) replicas(key string) []int {
+	out := make([]int, 0, r.n)
+	if len(r.points) == 0 {
+		return out
+	}
+	h := fnv64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	seen := make([]bool, r.n)
+	for i := 0; i < len(r.points) && len(out) < r.n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.widx] {
+			seen[p.widx] = true
+			out = append(out, p.widx)
+		}
+	}
+	return out
+}
+
+// fnv64 hashes s plus optional salt bytes with FNV-1a.
+func fnv64(s string, salt ...byte) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	for _, b := range salt {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return h
+}

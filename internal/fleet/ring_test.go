@@ -1,0 +1,77 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRingReplicasDeterministic(t *testing.T) {
+	addrs := []string{"a:1", "b:2", "c:3"}
+	r1 := newRing(addrs, 64)
+	r2 := newRing(addrs, 64)
+	for _, key := range []string{"tomcatv", "TRFD", "ora", "swm256", "DYFESM"} {
+		a, b := r1.replicas(key), r2.replicas(key)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("replicas(%q) differ across identical rings: %v vs %v", key, a, b)
+		}
+		if !reflect.DeepEqual(a, r1.replicas(key)) {
+			t.Errorf("replicas(%q) not stable across calls", key)
+		}
+	}
+}
+
+func TestRingReplicasCoverAllWorkersOnce(t *testing.T) {
+	addrs := []string{"a:1", "b:2", "c:3", "d:4"}
+	r := newRing(addrs, 64)
+	order := r.replicas("tomcatv")
+	if len(order) != len(addrs) {
+		t.Fatalf("replicas returned %d workers, want %d", len(order), len(addrs))
+	}
+	seen := map[int]bool{}
+	for _, idx := range order {
+		if idx < 0 || idx >= len(addrs) {
+			t.Fatalf("replica index %d out of range", idx)
+		}
+		if seen[idx] {
+			t.Fatalf("replica order %v repeats worker %d", order, idx)
+		}
+		seen[idx] = true
+	}
+}
+
+// TestRingAffinity: all cells of one benchmark share an owner (the cell
+// key hashes the benchmark name only), and different benchmarks spread
+// across the fleet rather than piling onto one worker.
+func TestRingAffinity(t *testing.T) {
+	addrs := []string{"a:1", "b:2", "c:3"}
+	r := newRing(addrs, 64)
+	benches := []string{
+		"ARC2D", "BDNA", "DYFESM", "MDG", "QCD2", "TRFD",
+		"alvinn", "dnasa7", "doduc", "ear", "hydro2d", "mdljdp2",
+		"ora", "spice2g6", "su2cor", "swm256", "tomcatv",
+	}
+	owners := map[int]int{}
+	for _, b := range benches {
+		owners[r.replicas(b)[0]]++
+	}
+	if len(owners) < 2 {
+		t.Errorf("all %d benchmarks hashed to one worker: %v", len(benches), owners)
+	}
+}
+
+// TestRingStableUnderRemoval: dropping one worker only moves the keys it
+// owned; every other key keeps its owner. This is the property that
+// keeps surviving workers' caches hot through a fleet death.
+func TestRingStableUnderRemoval(t *testing.T) {
+	full := []string{"a:1", "b:2", "c:3"}
+	rFull := newRing(full, 64)
+	rLess := newRing([]string{"a:1", "b:2"}, 64)
+	keys := []string{"tomcatv", "TRFD", "ora", "swm256", "DYFESM", "alvinn", "doduc", "ear"}
+	for _, key := range keys {
+		was := full[rFull.replicas(key)[0]]
+		now := []string{"a:1", "b:2"}[rLess.replicas(key)[0]]
+		if was != "c:3" && was != now {
+			t.Errorf("key %q moved %s -> %s though its owner survived", key, was, now)
+		}
+	}
+}

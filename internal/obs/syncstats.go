@@ -1,0 +1,63 @@
+package obs
+
+import "sync"
+
+// SyncStats is a goroutine-safe wrapper around a Stats registry — the
+// serving layers (bschedd's worker and coordinator modes) count and
+// observe from arbitrary request goroutines, where the engine's
+// one-registry-per-cell discipline does not apply. A nil *SyncStats is a
+// valid disabled registry, like a nil *Stats.
+type SyncStats struct {
+	mu sync.Mutex
+	s  *Stats
+}
+
+// NewSyncStats returns an empty goroutine-safe registry.
+func NewSyncStats() *SyncStats {
+	return &SyncStats{s: NewStats()}
+}
+
+// Add increments counter name by v.
+func (s *SyncStats) Add(name string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.s.Add(name, v)
+	s.mu.Unlock()
+}
+
+// Inc increments counter name by one.
+func (s *SyncStats) Inc(name string) { s.Add(name, 1) }
+
+// Observe records v into histogram name.
+func (s *SyncStats) Observe(name string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.s.Observe(name, v)
+	s.mu.Unlock()
+}
+
+// Counter returns counter name's current value — test and handler
+// convenience; the exported form of a snapshot lookup.
+func (s *SyncStats) Counter(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.s.c[name]
+}
+
+// Snapshot freezes the registry into its serializable form. A nil
+// registry snapshots to nil.
+func (s *SyncStats) Snapshot() *Snapshot {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.s.Snapshot()
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSyncStatsConcurrent hammers one registry from many goroutines —
+// run under -race, it proves SyncStats is safe where a bare Stats is
+// not — and checks the totals add up exactly.
+func TestSyncStatsConcurrent(t *testing.T) {
+	s := NewSyncStats()
+	const goroutines, per = 16, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Inc("fleet/dispatches")
+				s.Add("fleet/retries", 2)
+				s.Observe("fleet/cell_ms", int64(i%7))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Counter("fleet/dispatches"); got != goroutines*per {
+		t.Errorf("dispatches = %d, want %d", got, goroutines*per)
+	}
+	snap := s.Snapshot()
+	if got := snap.Counters["fleet/retries"]; got != 2*goroutines*per {
+		t.Errorf("retries = %d, want %d", got, 2*goroutines*per)
+	}
+	if got := snap.Hists["fleet/cell_ms"].Count; got != goroutines*per {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*per)
+	}
+}
+
+// TestSyncStatsNil proves the disabled registry is a no-op, not a panic.
+func TestSyncStatsNil(t *testing.T) {
+	var s *SyncStats
+	s.Inc("x")
+	s.Add("x", 3)
+	s.Observe("x", 1)
+	if s.Counter("x") != 0 {
+		t.Error("nil registry counted")
+	}
+	if s.Snapshot() != nil {
+		t.Error("nil registry snapshots non-nil")
+	}
+}

@@ -6,33 +6,38 @@ import (
 )
 
 // Breaker states. Exported values appear in /metrics as
-// bschedd_breaker_state{bench="..."}.
+// bschedd_breaker_state{bench="..."} and, on the coordinator, as
+// bschedd_fleet_worker_breaker_state{worker="..."}.
 const (
-	breakerClosed = iota
-	breakerOpen
-	breakerHalfOpen
+	BreakerClosed = iota
+	BreakerOpen
+	BreakerHalfOpen
 )
 
-func breakerStateName(s int) string {
+// BreakerStateName renders a breaker state constant for /readyz and
+// /debug/obs documents.
+func BreakerStateName(s int) string {
 	switch s {
-	case breakerOpen:
+	case BreakerOpen:
 		return "open"
-	case breakerHalfOpen:
+	case BreakerHalfOpen:
 		return "half-open"
 	}
 	return "closed"
 }
 
-// breaker is one benchmark's circuit breaker. Repeated pipeline faults
-// (panics, injected errors, hangs) on a benchmark usually mean every
-// further request for it will burn a worker slot and fail the same way,
-// starving healthy traffic — so after threshold consecutive faults the
-// breaker opens and requests are rejected up front with a Retry-After.
-// Once the cooldown elapses the breaker half-opens: exactly one probe
-// request is let through; its success closes the breaker, its failure
-// reopens it for another cooldown. Client-caused failures (canceled or
-// expired request contexts) are not faults and never trip the breaker.
-type breaker struct {
+// Breaker is a circuit breaker over one failure domain: the worker mode
+// keeps one per benchmark (repeated pipeline faults on a benchmark mean
+// every further request for it will burn a worker slot and fail the same
+// way), and the fleet coordinator keeps one per worker process (repeated
+// transport-level failures mean the worker is down or sick). After
+// threshold consecutive faults the breaker opens and requests are
+// rejected up front with a Retry-After. Once the cooldown elapses the
+// breaker half-opens: exactly one probe request is let through; its
+// success closes the breaker, its failure reopens it for another
+// cooldown. Client-caused failures (canceled or expired request
+// contexts) are not faults and never trip the breaker.
+type Breaker struct {
 	threshold int
 	cooldown  time.Duration
 
@@ -43,22 +48,27 @@ type breaker struct {
 	probing  bool      // a half-open probe is in flight
 }
 
-// allow reports whether a request may proceed. When the breaker is open,
+// NewBreaker returns a closed breaker.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	return &Breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether a request may proceed. When the breaker is open,
 // retryAfter is how long until the next probe slot. The caller must
-// report the request's outcome with success/failure iff allow returned
+// report the request's outcome with Success/Failure iff Allow returned
 // true.
-func (b *breaker) allow(now time.Time) (ok bool, retryAfter time.Duration) {
+func (b *Breaker) Allow(now time.Time) (ok bool, retryAfter time.Duration) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
-	case breakerClosed:
+	case BreakerClosed:
 		return true, 0
-	case breakerOpen:
+	case BreakerOpen:
 		if wait := b.cooldown - now.Sub(b.openedAt); wait > 0 {
 			return false, wait
 		}
 		// Cooldown over: half-open, admit this request as the probe.
-		b.state = breakerHalfOpen
+		b.state = BreakerHalfOpen
 		b.probing = true
 		return true, 0
 	default: // half-open
@@ -72,32 +82,32 @@ func (b *breaker) allow(now time.Time) (ok bool, retryAfter time.Duration) {
 	}
 }
 
-// success reports a completed request; in half-open state it closes the
+// Success reports a completed request; in half-open state it closes the
 // breaker.
-func (b *breaker) success() {
+func (b *Breaker) Success() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.state = breakerClosed
+	b.state = BreakerClosed
 	b.fails = 0
 	b.probing = false
 }
 
-// failure reports a pipeline fault; it trips a closed breaker at the
-// threshold and reopens a half-open one immediately. It reports whether
-// this failure opened the breaker.
-func (b *breaker) failure(now time.Time) bool {
+// Failure reports a fault; it trips a closed breaker at the threshold
+// and reopens a half-open one immediately. It reports whether this
+// failure opened the breaker.
+func (b *Breaker) Failure(now time.Time) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
-	case breakerHalfOpen:
-		b.state = breakerOpen
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
 		b.openedAt = now
 		b.probing = false
 		return true
 	default:
 		b.fails++
-		if b.fails >= b.threshold && b.state == breakerClosed {
-			b.state = breakerOpen
+		if b.fails >= b.threshold && b.state == BreakerClosed {
+			b.state = BreakerOpen
 			b.openedAt = now
 			return true
 		}
@@ -105,19 +115,19 @@ func (b *breaker) failure(now time.Time) bool {
 	}
 }
 
-// cancelProbe releases a half-open probe slot without deciding the
+// CancelProbe releases a half-open probe slot without deciding the
 // breaker's fate — used when the probe request died of its own context
 // (client deadline or cancel) rather than a pipeline outcome.
-func (b *breaker) cancelProbe() {
+func (b *Breaker) CancelProbe() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.state == breakerHalfOpen {
+	if b.state == BreakerHalfOpen {
 		b.probing = false
 	}
 }
 
-// snapshot returns the current state for /readyz and /metrics.
-func (b *breaker) snapshot() int {
+// State returns the current state for /readyz and /metrics.
+func (b *Breaker) State() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.state
@@ -129,20 +139,20 @@ type breakers struct {
 	cooldown  time.Duration
 
 	mu sync.Mutex
-	m  map[string]*breaker
+	m  map[string]*Breaker
 }
 
 func newBreakers(threshold int, cooldown time.Duration) *breakers {
-	return &breakers{threshold: threshold, cooldown: cooldown, m: map[string]*breaker{}}
+	return &breakers{threshold: threshold, cooldown: cooldown, m: map[string]*Breaker{}}
 }
 
 // get returns (creating if needed) the breaker for bench.
-func (bs *breakers) get(bench string) *breaker {
+func (bs *breakers) get(bench string) *Breaker {
 	bs.mu.Lock()
 	defer bs.mu.Unlock()
 	b := bs.m[bench]
 	if b == nil {
-		b = &breaker{threshold: bs.threshold, cooldown: bs.cooldown}
+		b = NewBreaker(bs.threshold, bs.cooldown)
 		bs.m[bench] = b
 	}
 	return b
@@ -154,7 +164,7 @@ func (bs *breakers) states() map[string]int {
 	defer bs.mu.Unlock()
 	out := make(map[string]int, len(bs.m))
 	for name, b := range bs.m {
-		out[name] = b.snapshot()
+		out[name] = b.State()
 	}
 	return out
 }
@@ -167,7 +177,7 @@ func (bs *breakers) saturated() bool {
 		return false
 	}
 	for _, s := range states {
-		if s != breakerOpen {
+		if s != BreakerOpen {
 			return false
 		}
 	}

@@ -1,0 +1,29 @@
+package server
+
+import (
+	"net/http"
+	"time"
+)
+
+// NewHTTPServer wraps a handler in an http.Server with the slow-loris
+// protections every bschedd mode (worker and coordinator) needs: a
+// read-header timeout so a client that dribbles header bytes cannot pin
+// a connection forever, an idle timeout so keep-alive connections are
+// reaped, and a header-size cap. Body size is bounded separately, per
+// handler, by Config.MaxBodyBytes (the body limit must produce a
+// structured 413, which only the handler can write).
+//
+// There is deliberately no blanket ReadTimeout/WriteTimeout: grid
+// requests legitimately stream results for as long as the grid runs,
+// and per-request deadlines already bound the work behind each request.
+func NewHTTPServer(h http.Handler, readHeaderTimeout time.Duration) *http.Server {
+	if readHeaderTimeout <= 0 {
+		readHeaderTimeout = 5 * time.Second
+	}
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: readHeaderTimeout,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
+}

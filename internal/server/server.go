@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand/v2"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -75,6 +76,10 @@ type Config struct {
 	// BreakerCooldown is how long an open breaker waits before letting a
 	// half-open probe through. Default 5s.
 	BreakerCooldown time.Duration
+	// MaxBodyBytes caps request-body size; oversized POSTs are rejected
+	// with a structured 413 instead of being read without bound. Default
+	// 1 MiB.
+	MaxBodyBytes int64
 	// Journal, when non-empty, is the JSONL request journal: every
 	// admitted request is appended as it finishes, and Drain flushes it.
 	Journal string
@@ -109,10 +114,8 @@ type Server struct {
 
 	reqSeq atomic.Uint64
 
-	// stats is the server's counter registry; obs.Stats is not
-	// goroutine-safe, so every touch holds statsMu.
-	statsMu sync.Mutex
-	stats   *obs.Stats
+	// stats is the server's goroutine-safe counter registry.
+	stats *obs.SyncStats
 
 	// waits aggregates the pipeline's shared-resource wait histograms
 	// (machine pool, front-end cache) across every served cell, via
@@ -150,6 +153,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.BreakerCooldown <= 0 {
 		cfg.BreakerCooldown = 5 * time.Second
 	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
 	if cfg.MetricsPrefix == "" {
 		cfg.MetricsPrefix = "bschedd_"
 	}
@@ -172,7 +178,7 @@ func New(cfg Config) (*Server, error) {
 		baseCancel: cancel,
 		admit:      make(chan struct{}, cfg.Queue),
 		work:       make(chan struct{}, cfg.Workers),
-		stats:      obs.NewStats(),
+		stats:      obs.NewSyncStats(),
 		waits:      obs.NewWaitProfile(),
 	}, nil
 }
@@ -191,20 +197,12 @@ func (s *Server) Handler() http.Handler {
 
 func (s *Server) count(name string) { s.countN(name, 1) }
 
-func (s *Server) countN(name string, n int64) {
-	s.statsMu.Lock()
-	s.stats.Add(name, n)
-	s.statsMu.Unlock()
-}
+func (s *Server) countN(name string, n int64) { s.stats.Add(name, n) }
 
 // observe records v into histogram name — the path that puts the
 // latency distributions on /metrics (counters alone cannot answer "how
 // long do requests queue?", which is exactly the question under load).
-func (s *Server) observe(name string, v int64) {
-	s.statsMu.Lock()
-	s.stats.Observe(name, v)
-	s.statsMu.Unlock()
-}
+func (s *Server) observe(name string, v int64) { s.stats.Observe(name, v) }
 
 // reqError is a structured request failure: the HTTP status, the machine-
 // readable kind, and — for pipeline deaths — the phase the work died in.
@@ -221,8 +219,13 @@ type reqError struct {
 	ctxDeath bool
 }
 
-// errorBody is the JSON error document every non-2xx response carries.
-type errorBody struct {
+// ErrorBody is the JSON error document every non-2xx response carries.
+// It is exported, along with the other wire types below, because the
+// fleet coordinator (internal/fleet) speaks exactly this protocol to its
+// workers and to its own clients: one source of truth for the wire
+// shape is what keeps a coordinator-served grid byte-identical to a
+// single-node one.
+type ErrorBody struct {
 	// RequestID echoes the request's ID (X-Request-Id or minted), so an
 	// error body joins against the request journal and the server log.
 	RequestID string `json:"request_id,omitempty"`
@@ -242,18 +245,23 @@ type errorBody struct {
 	RetryAfterS int `json:"retry_after_s,omitempty"`
 }
 
+type errorBody = ErrorBody
+
 // resultDoc is the response document of a served cell. It is fully
 // deterministic for a (benchmark, config) pair — simulated metrics only,
 // no wall-clock, no allocation counters — which is what lets the LRU
 // serve cached bytes that are identical to a cold compile's, and lets
 // clients diff server results against paperbench -json output.
-type resultDoc struct {
+type ResultDoc struct {
 	Bench   string       `json:"bench"`
 	Config  string       `json:"config"`
 	Metrics *sim.Metrics `json:"metrics"`
 }
 
-type compileRequest struct {
+type resultDoc = ResultDoc
+
+// CompileRequest is the body of POST /v1/compile.
+type CompileRequest struct {
 	Bench  string `json:"bench"`
 	Config string `json:"config"`
 	// Verify opts this request into the invariant verifiers (always on
@@ -264,7 +272,10 @@ type compileRequest struct {
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
-type gridRequest struct {
+type compileRequest = CompileRequest
+
+// GridRequest is the body of POST /v1/grid.
+type GridRequest struct {
 	Benches []string `json:"benches"`
 	// Configs are configuration names (core.ParseConfig notation); empty
 	// means the paper's full 16-configuration grid.
@@ -273,10 +284,12 @@ type gridRequest struct {
 	DeadlineMS int64    `json:"deadline_ms,omitempty"`
 }
 
-// gridCellJSON is one cell of a /v1/grid response: a result or a
-// structured per-cell failure (shed, breaker-open, timeout, fault), so a
+type gridRequest = GridRequest
+
+// GridCell is one cell of a /v1/grid response: a result or a structured
+// per-cell failure (shed, breaker-open, timeout, fault, degraded), so a
 // grid request degrades cell by cell instead of failing whole.
-type gridCellJSON struct {
+type GridCell struct {
 	Bench   string       `json:"bench"`
 	Config  string       `json:"config"`
 	Metrics *sim.Metrics `json:"metrics,omitempty"`
@@ -285,9 +298,14 @@ type gridCellJSON struct {
 	Phase   string       `json:"phase,omitempty"`
 }
 
-type gridResponse struct {
-	Cells []gridCellJSON `json:"cells"`
+type gridCellJSON = GridCell
+
+// GridResponse is the body of a buffered /v1/grid response.
+type GridResponse struct {
+	Cells []GridCell `json:"cells"`
 }
+
+type gridResponse = GridResponse
 
 // enter registers a request with the in-flight accounting; it fails once
 // draining has begun.
@@ -359,6 +377,36 @@ func (s *Server) writeError(w http.ResponseWriter, id string, e *reqError) {
 
 func badRequest(format string, args ...any) *reqError {
 	return &reqError{status: http.StatusBadRequest, kind: "bad_request", msg: fmt.Sprintf(format, args...)}
+}
+
+// jitterRetryAfter spreads a Retry-After hint over [base, 1.5*base+1s)
+// so shed or breaker-rejected clients do not reconverge on the same
+// instant — the thundering-herd half of admission control. The fleet
+// coordinator honors these hints per worker.
+func jitterRetryAfter(base time.Duration) time.Duration {
+	if base <= 0 {
+		base = time.Second
+	}
+	return base + rand.N(base/2+time.Second)
+}
+
+// decodeBody decodes the request body under the server's size limit;
+// an oversized body becomes a structured 413 (not an unbounded read,
+// not a generic 400).
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) *reqError {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.count("server/too_large")
+			return &reqError{
+				status: http.StatusRequestEntityTooLarge, kind: "too_large",
+				msg: fmt.Sprintf("request body exceeds %d bytes", mbe.Limit),
+			}
+		}
+		return badRequest("decoding request: %v", err)
+	}
+	return nil
 }
 
 // ctxError classifies a dead context into the structured timeout/canceled
@@ -438,19 +486,19 @@ func (s *Server) compute(ctx context.Context, id, bench string, cfg core.Config,
 			status: http.StatusTooManyRequests, kind: "shed",
 			msg:   fmt.Sprintf("admission queue full (%d items)", cap(s.admit)),
 			bench: bench, config: cfg.Name(),
-			retryAfter: time.Second,
+			retryAfter: jitterRetryAfter(time.Second),
 		}
 	}
 	defer func() { <-s.admit }()
 
 	brk := s.brk.get(bench)
-	if ok, retry := brk.allow(time.Now()); !ok {
+	if ok, retry := brk.Allow(time.Now()); !ok {
 		s.count("server/breaker_rejects")
 		return nil, &reqError{
 			status: http.StatusServiceUnavailable, kind: "breaker_open",
 			msg:   fmt.Sprintf("circuit breaker open for %s", bench),
 			bench: bench, config: cfg.Name(),
-			retryAfter: retry,
+			retryAfter: jitterRetryAfter(retry),
 		}
 	}
 
@@ -458,7 +506,7 @@ func (s *Server) compute(ctx context.Context, id, bench string, cfg core.Config,
 	select {
 	case s.work <- struct{}{}:
 	case <-ctx.Done():
-		brk.cancelProbe()
+		brk.CancelProbe()
 		return nil, ctxError(ctx.Err(), bench, cfg.Name(), "queue")
 	}
 	s.observe("server/queue_wait_ms", time.Since(queued).Milliseconds())
@@ -475,19 +523,19 @@ func (s *Server) compute(ctx context.Context, id, bench string, cfg core.Config,
 		if !errors.As(err, &ce) {
 			// Only workload.ByName fails outside the cell machinery, and
 			// the handler validated the benchmark already.
-			brk.cancelProbe()
+			brk.CancelProbe()
 			return nil, badRequest("%v", err)
 		}
 		switch {
 		case ce.Canceled, ce.Timeout && ctx.Err() != nil:
 			// The request's own context died; not the benchmark's fault.
-			brk.cancelProbe()
+			brk.CancelProbe()
 			s.count("server/" + map[bool]string{true: "timeouts", false: "canceled"}[ce.Timeout])
 			return nil, ctxError(ctx.Err(), bench, cfg.Name(), ce.Phase)
 		case verify.IsVerification(ce.Err):
 			// The pipeline produced a wrong result — the most serious
 			// outcome, reported as an internal error.
-			if brk.failure(time.Now()) {
+			if brk.Failure(time.Now()) {
 				s.count("server/breaker_opens")
 			}
 			s.count("server/verify_failures")
@@ -502,7 +550,7 @@ func (s *Server) compute(ctx context.Context, id, bench string, cfg core.Config,
 		default:
 			// Pipeline fault (panic, injected error, compile failure):
 			// retryable from the client's side, counted by the breaker.
-			if brk.failure(time.Now()) {
+			if brk.Failure(time.Now()) {
 				s.count("server/breaker_opens")
 			}
 			s.count("server/faults")
@@ -513,11 +561,11 @@ func (s *Server) compute(ctx context.Context, id, bench string, cfg core.Config,
 				status: http.StatusServiceUnavailable, kind: "fault",
 				msg:   fmt.Sprintf("request %s: %s", id, ce.Error()),
 				bench: bench, config: cfg.Name(), phase: ce.Phase,
-				retryAfter: time.Second,
+				retryAfter: jitterRetryAfter(time.Second),
 			}
 		}
 	}
-	brk.success()
+	brk.Success()
 	doc := resultDoc{Bench: res.Bench, Config: res.Config.Name(), Metrics: res.Metrics}
 	body, merr := json.Marshal(doc)
 	if merr != nil {
@@ -548,7 +596,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.enter() {
-		s.writeError(w, id, &reqError{status: http.StatusServiceUnavailable, kind: "draining", msg: "server is draining", retryAfter: time.Second})
+		s.writeError(w, id, &reqError{status: http.StatusServiceUnavailable, kind: "draining", msg: "server is draining", retryAfter: jitterRetryAfter(time.Second)})
 		return
 	}
 	defer s.leave()
@@ -560,9 +608,9 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}()
 
 	var req compileRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
-		rec.Status, rec.Kind = http.StatusBadRequest, "bad_request"
-		s.writeError(w, id, badRequest("decoding request: %v", err))
+	if rerr := s.decodeBody(w, r, &req); rerr != nil {
+		rec.Status, rec.Kind = rerr.status, rerr.kind
+		s.writeError(w, id, rerr)
 		return
 	}
 	rec.Bench, rec.Config = req.Bench, req.Config
@@ -613,7 +661,7 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.enter() {
-		s.writeError(w, id, &reqError{status: http.StatusServiceUnavailable, kind: "draining", msg: "server is draining", retryAfter: time.Second})
+		s.writeError(w, id, &reqError{status: http.StatusServiceUnavailable, kind: "draining", msg: "server is draining", retryAfter: jitterRetryAfter(time.Second)})
 		return
 	}
 	defer s.leave()
@@ -625,9 +673,9 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 	}()
 
 	var req gridRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
-		rec.Status, rec.Kind = http.StatusBadRequest, "bad_request"
-		s.writeError(w, id, badRequest("decoding request: %v", err))
+	if rerr := s.decodeBody(w, r, &req); rerr != nil {
+		rec.Status, rec.Kind = rerr.status, rerr.kind
+		s.writeError(w, id, rerr)
 		return
 	}
 	if len(req.Benches) == 0 {
@@ -716,7 +764,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	saturated := s.brk.saturated()
 	states := map[string]string{}
 	for bench, st := range s.brk.states() {
-		states[bench] = breakerStateName(st)
+		states[bench] = BreakerStateName(st)
 	}
 	body := map[string]any{
 		"ready":    !draining && !saturated,
@@ -731,9 +779,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.statsMu.Lock()
 	snap := s.stats.Snapshot()
-	s.statsMu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := snap.WritePrometheus(w, s.cfg.MetricsPrefix); err != nil {
 		return
@@ -782,9 +828,7 @@ type debugObsDoc struct {
 }
 
 func (s *Server) handleDebugObs(w http.ResponseWriter, r *http.Request) {
-	s.statsMu.Lock()
 	snap := s.stats.Snapshot()
-	s.statsMu.Unlock()
 	s.mu.Lock()
 	draining := int64(0)
 	if s.draining {
@@ -794,7 +838,7 @@ func (s *Server) handleDebugObs(w http.ResponseWriter, r *http.Request) {
 	poolHits, poolMisses := sim.PoolCounters()
 	breakers := map[string]string{}
 	for bench, st := range s.brk.states() {
-		breakers[bench] = breakerStateName(st)
+		breakers[bench] = BreakerStateName(st)
 	}
 	doc := debugObsDoc{
 		Stats: snap,

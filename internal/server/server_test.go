@@ -448,7 +448,5 @@ func get(t *testing.T, url string) (*http.Response, []byte) {
 
 // counters snapshots the server's counter registry for assertions.
 func counters(s *Server) map[string]int64 {
-	s.statsMu.Lock()
-	defer s.statsMu.Unlock()
 	return s.stats.Snapshot().Counters
 }
