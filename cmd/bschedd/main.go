@@ -15,7 +15,8 @@
 //
 //	bschedd -coordinator -workers host:port,host:port,...
 //	        [-addr :8344] [-inflight N] [-attempts N] [-hedge-after d]
-//	        [-probe-interval d] [-probe-max-interval d]
+//	        [-probe-interval d] [-probe-max-interval d] [-evict-after N]
+//	        [-min-workers N] [-coord-cache N]
 //	        [-breaker-threshold N] [-breaker-cooldown d]
 //	        [-journal cells.jsonl] [-resume] [-drain-timeout d] [-v]
 //
@@ -28,9 +29,25 @@
 // the next healthy worker, and hedged dispatch for stragglers. When
 // every replica of a cell is exhausted the cell degrades to a structured
 // error entry — the grid never fails whole. /v1/grid?stream=jsonl (or
-// sse) streams cells as they finish. The -workers flag is the fleet
-// roster: a comma-separated host:port list (in worker mode the same flag
-// is the pipeline concurrency bound).
+// sse) streams cells as they finish. The -workers flag is the initial
+// fleet roster: a comma-separated host:port list (in worker mode the
+// same flag is the pipeline concurrency bound).
+//
+// The fleet is elastic: POST /v1/fleet/join {"addr":"host:port"} admits
+// a worker at runtime (it is probed synchronously and starts receiving
+// cells immediately), POST /v1/fleet/leave removes one (in-flight cells
+// drain, new cells stop routing at once), GET /v1/fleet/members lists
+// the roster, and -evict-after N removes a worker automatically after N
+// consecutive failed health probes (the last member is never evicted).
+// Membership changes mutate the consistent-hash ring incrementally, so
+// only ~1/n of benchmark keys remap and the surviving workers' caches
+// stay hot. Every served cell's bytes are promoted into a shared
+// result-cache tier (-coord-cache entries); failovers consult that tier
+// — then the surviving workers' own caches over GET /v1/cache/{key} —
+// before recomputing, so a worker death does not cost recomputation of
+// what it had already served. The coordinator's /readyz is quorum-aware:
+// it answers 503 naming the down workers while fewer than -min-workers
+// members are healthy.
 //
 // Endpoints:
 //
@@ -104,6 +121,9 @@ func realMain(args []string) int {
 	hedgeAfter := fs.Duration("hedge-after", 2*time.Second, "coordinator: hedge a straggler cell onto the next replica after this long (0 disables)")
 	probeInterval := fs.Duration("probe-interval", 500*time.Millisecond, "coordinator: /readyz health-check cadence for healthy workers")
 	probeMaxInterval := fs.Duration("probe-max-interval", 8*time.Second, "coordinator: exponential probe-backoff ceiling for unhealthy workers")
+	evictAfter := fs.Int("evict-after", 0, "coordinator: evict a worker after this many consecutive failed probes (0 = never)")
+	minWorkers := fs.Int("min-workers", 1, "coordinator: /readyz quorum — 503 while fewer workers are healthy")
+	coordCache := fs.Int("coord-cache", 4096, "coordinator: shared result-cache tier capacity (entries)")
 	faultSpec := fs.String("faultspec", "", "deterministic fault-injection plan (chaos drills)")
 	faultSeed := fs.Int64("faultseed", 1, "seed for probabilistic fault-injection decisions")
 	traceFile := fs.String("tracefile", "", "write a Chrome trace-event JSON timeline of served requests at exit")
@@ -153,6 +173,9 @@ func realMain(args []string) int {
 			HedgeAfter:       *hedgeAfter,
 			ProbeInterval:    *probeInterval,
 			ProbeMaxInterval: *probeMaxInterval,
+			EvictAfterFails:  *evictAfter,
+			MinWorkers:       *minWorkers,
+			CacheEntries:     *coordCache,
 			BreakerThreshold: *brkThreshold,
 			BreakerCooldown:  *brkCooldown,
 			DefaultDeadline:  *deadline,

@@ -182,7 +182,11 @@ func TestCoordinatorFleetSurvivesWorkerKill(t *testing.T) {
 		if rec.Status != "ok" {
 			t.Errorf("journal line %d: status %q, want ok", i, rec.Status)
 		}
-		if rec.Worker != addr1 && rec.Worker != addr2 {
+		// After the SIGKILL, failed-over cells may be attributed to the
+		// shared cache tier instead of a live worker address.
+		attributed := rec.Worker == addr1 || rec.Worker == addr2 ||
+			rec.Worker == "fleet-cache" || strings.HasPrefix(rec.Worker, "peer-cache:")
+		if !attributed {
 			t.Errorf("journal line %d: worker %q is not in the fleet", i, rec.Worker)
 		}
 	}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestChurnPlanDeterministic: the kill/join timeline is a pure function
+// of the seed — same seed, same plan; different seed, (almost surely) a
+// different plan.
+func TestChurnPlanDeterministic(t *testing.T) {
+	a := churnPlan(7, 10, 3)
+	b := churnPlan(7, 10, 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different plans:\n%v\n%v", a, b)
+	}
+	c := churnPlan(8, 10, 3)
+	if reflect.DeepEqual(a, c) {
+		t.Error("seeds 7 and 8 produced identical 10-op plans")
+	}
+}
+
+// TestChurnPlanNeverSinksBelowTwoWorkers: no prefix of any plan leaves
+// fewer than two live workers — the drill measures churn, not fleet
+// death.
+func TestChurnPlanNeverSinksBelowTwoWorkers(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		alive := 3
+		for _, op := range churnPlan(seed, 12, 3) {
+			switch op.Action {
+			case "kill":
+				alive--
+			case "join":
+				alive++
+			}
+			if alive < 2 {
+				t.Fatalf("seed %d plan sinks to %d live workers", seed, alive)
+			}
+		}
+	}
+}
+
+// TestDrillEndToEnd runs a small drill twice with the same seed and
+// checks the report's contract: zero degraded rows, at least one
+// recompute avoided (the deterministic final phase guarantees it), an
+// intact journal, a clean drain, and a timeline that replays exactly.
+func TestDrillEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drill boots a real fleet; skipped in -short")
+	}
+	dir := t.TempDir()
+	run := func(out string) report {
+		t.Helper()
+		code := realMain([]string{
+			"-workers", "3", "-grids", "20", "-concurrency", "4",
+			"-drillseed", "7", "-churn-ops", "3", "-out", out,
+		})
+		if code != 0 {
+			t.Fatalf("fleetdrill exited %d", code)
+		}
+		raw, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep report
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			t.Fatalf("report: %v", err)
+		}
+		return rep
+	}
+
+	rep := run(filepath.Join(dir, "a.json"))
+	if rep.CellsTotal == 0 {
+		t.Fatal("drill dispatched no cells")
+	}
+	if rep.CellsDegraded != 0 {
+		t.Errorf("cells_degraded = %d, want 0 (survivors always existed)", rep.CellsDegraded)
+	}
+	if rep.RecomputeAvoided < 1 {
+		t.Errorf("recompute_avoided = %d, want >= 1 (the final phase kills a warmed owner)", rep.RecomputeAvoided)
+	}
+	if !rep.Journal.Intact {
+		t.Errorf("journal not intact: %+v", rep.Journal)
+	}
+	if !rep.CleanDrain {
+		t.Error("drain was not clean")
+	}
+	if rep.LatencyMS.P50 <= 0 || rep.LatencyMS.P99 < rep.LatencyMS.P50 {
+		t.Errorf("implausible latency summary: %+v", rep.LatencyMS)
+	}
+	if len(rep.ChurnTimeline) != 3 {
+		t.Errorf("timeline holds %d ops, want 3", len(rep.ChurnTimeline))
+	}
+
+	rep2 := run(filepath.Join(dir, "b.json"))
+	if !reflect.DeepEqual(rep.ChurnTimeline, rep2.ChurnTimeline) {
+		t.Errorf("same -drillseed produced different timelines:\n%v\n%v",
+			rep.ChurnTimeline, rep2.ChurnTimeline)
+	}
+}
+
+// TestSummarize sanity-checks the percentile math on a known
+// distribution.
+func TestSummarize(t *testing.T) {
+	ms := make([]float64, 100)
+	for i := range ms {
+		ms[i] = float64(i + 1) // 1..100
+	}
+	s := summarize(ms)
+	if s.P50 != 50 || s.P95 != 95 || s.P99 != 99 || s.Max != 100 {
+		t.Errorf("summarize = %+v, want p50=50 p95=95 p99=99 max=100", s)
+	}
+	if s.Mean != 50.5 {
+		t.Errorf("mean = %v, want 50.5", s.Mean)
+	}
+}

@@ -1,0 +1,151 @@
+package fleet
+
+import (
+	"container/list"
+	"context"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+)
+
+// cacheTier is the coordinator's shared result cache: a content-addressed
+// LRU over served cell bytes, keyed by the same cell key the workers use
+// (bench|config[|verify] — the corpus is part of the benchmark identity,
+// so the key is content-addressed end to end). Every cell the fleet
+// serves is promoted here, and the failover path consults it — then the
+// surviving workers' own caches — before recomputing, so a worker death
+// stops costing recomputation of everything it had already served.
+//
+// The result documents are deterministic (no wall clock, no randomness),
+// which is what makes a tier hit safe: cached bytes are byte-identical
+// to what a cold recompute would produce.
+type cacheTier struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recent
+	m   map[string]*list.Element
+}
+
+type tierEntry struct {
+	key  string
+	body []byte
+}
+
+func newCacheTier(capacity int) *cacheTier {
+	return &cacheTier{
+		cap: capacity,
+		ll:  list.New(),
+		m:   make(map[string]*list.Element, capacity),
+	}
+}
+
+func (t *cacheTier) get(key string) ([]byte, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	el, ok := t.m[key]
+	if !ok {
+		return nil, false
+	}
+	t.ll.MoveToFront(el)
+	return el.Value.(*tierEntry).body, true
+}
+
+func (t *cacheTier) put(key string, body []byte) {
+	if len(body) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if el, ok := t.m[key]; ok {
+		el.Value.(*tierEntry).body = body
+		t.ll.MoveToFront(el)
+		return
+	}
+	t.m[key] = t.ll.PushFront(&tierEntry{key: key, body: body})
+	for t.ll.Len() > t.cap {
+		el := t.ll.Back()
+		t.ll.Remove(el)
+		delete(t.m, el.Value.(*tierEntry).key)
+	}
+}
+
+func (t *cacheTier) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ll.Len()
+}
+
+// promote records a served cell's bytes in the shared tier.
+func (c *Coordinator) promote(key string, body []byte) {
+	c.tier.put(key, body)
+}
+
+// tierLookup is the failover path's recompute-avoidance check: the
+// coordinator's own tier first, then each surviving worker's result
+// cache over GET /v1/cache/{key}. Peer fetches are opportunistic — a
+// short per-fetch timeout, and a failure never touches the peer's
+// breaker or health (the probe loop owns liveness) — because the
+// fallback is merely recomputing, not failing the cell. A peer hit is
+// promoted into the local tier so the next failover of the same cell is
+// a local hit. Returns the bytes and a worker label for attribution.
+func (c *Coordinator) tierLookup(ctx context.Context, key string) ([]byte, string, bool) {
+	if body, ok := c.tier.get(key); ok {
+		c.stats.Inc("fleet/cache_hits")
+		c.stats.Inc("fleet/cache_local_hits")
+		c.stats.Inc("fleet/recompute_avoided")
+		return body, "fleet-cache", true
+	}
+	now := time.Now()
+	for _, w := range c.members.all() {
+		// Only ask peers we would be willing to dispatch to: a worker that
+		// is unhealthy, inside a Retry-After window, or behind an open
+		// breaker told us to stay away, and an opportunistic cache probe is
+		// still traffic.
+		if !w.healthy.Load() || w.backedOff(now) || w.brk.State() != server.BreakerClosed {
+			continue
+		}
+		body, ok := c.peerFetch(ctx, w, key)
+		if !ok {
+			continue
+		}
+		c.promote(key, body)
+		c.stats.Inc("fleet/cache_hits")
+		c.stats.Inc("fleet/cache_peer_hits")
+		c.stats.Inc("fleet/recompute_avoided")
+		return body, "peer-cache:" + w.addr, true
+	}
+	c.stats.Inc("fleet/cache_misses")
+	return nil, "", false
+}
+
+// peerFetch asks one worker's result cache for key. Only a 200 counts;
+// 404 means the worker never served (or has evicted) the cell, and any
+// transport error is ignored — this path must never make a failover
+// slower than just recomputing.
+func (c *Coordinator) peerFetch(ctx context.Context, w *worker, key string) ([]byte, bool) {
+	fctx, cancel := context.WithTimeout(ctx, c.cfg.PeerFetchTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(fctx, http.MethodGet, w.base+"/v1/cache/"+url.PathEscape(key), nil)
+	if err != nil {
+		return nil, false
+	}
+	c.stats.Inc("fleet/peer_fetches")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		return nil, false
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, c.cfg.MaxBodyBytes))
+	if err != nil || len(body) == 0 {
+		return nil, false
+	}
+	return body, true
+}

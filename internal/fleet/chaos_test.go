@@ -68,7 +68,7 @@ func TestGridSurvivesWorkerDeathMidGrid(t *testing.T) {
 
 	// Arm the kill switch on whichever worker owns tomcatv, so the death
 	// deterministically hits the worker mid-way through its own shard.
-	owner := c.workers[c.ring.replicas("tomcatv")[0]].addr
+	owner := c.OwnerAddr("tomcatv")
 	if owner == addrA {
 		ksA.armed.Store(true)
 	} else {
@@ -147,6 +147,155 @@ func TestGridSurvivesWorkerDeathMidGrid(t *testing.T) {
 	}
 	if len(obsDoc.Workers) != 2 {
 		t.Errorf("/debug/obs lists %d workers, want 2", len(obsDoc.Workers))
+	}
+}
+
+// TestGridSurvivesKillAndJoinMidGrid is this PR's chaos proof: the
+// benchmark's owner is killed and a replacement joins while a grid is in
+// flight — the grid completes with zero failed cells, byte-identical to
+// a single-node run, and at least one failover is served from the
+// shared cache tier instead of recomputed.
+func TestGridSurvivesKillAndJoinMidGrid(t *testing.T) {
+	addrA, ksA := startKillableWorker(t, 0)
+	addrB, ksB := startKillableWorker(t, 0)
+	c := newCoordinator(t, func(cfg *Config) {
+		cfg.RetryBackoff = 5 * time.Millisecond
+	}, addrA, addrB)
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	req := server.GridRequest{
+		Benches: []string{"tomcatv"},
+		Configs: []string{"BS", "TS", "BS+LU4", "BS+TrS"},
+	}
+
+	// Warm pass: every cell served cold and promoted into the shared
+	// cache tier.
+	resp, _ := postJSON(t, ts.URL+"/v1/grid", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm grid: status %d", resp.StatusCode)
+	}
+
+	// Kill the owner outright, then re-run the grid while a fresh worker
+	// joins mid-flight.
+	if c.OwnerAddr("tomcatv") == addrA {
+		ksA.armed.Store(true)
+	} else {
+		ksB.armed.Store(true)
+	}
+	addrC, _ := startWorker(t)
+	gridDone := make(chan []byte, 1)
+	go func() {
+		_, body := postJSON(t, ts.URL+"/v1/grid", req)
+		gridDone <- body
+	}()
+	jresp, jbody := postJSON(t, ts.URL+"/v1/fleet/join", map[string]string{"addr": addrC})
+	if jresp.StatusCode != http.StatusOK {
+		t.Fatalf("join mid-grid: status %d body %s", jresp.StatusCode, jbody)
+	}
+	body := <-gridDone
+
+	var grid server.GridResponse
+	if err := json.Unmarshal(body, &grid); err != nil {
+		t.Fatalf("grid body: %v", err)
+	}
+	for _, cell := range grid.Cells {
+		if cell.Error != "" || cell.Metrics == nil {
+			t.Errorf("cell %s/%s failed through kill+join churn: kind=%q err=%q",
+				cell.Bench, cell.Config, cell.Kind, cell.Error)
+		}
+	}
+
+	// The replacement is a member, and the failovers hit the shared tier
+	// instead of recomputing.
+	members := c.WorkerAddrs()
+	found := false
+	for _, m := range members {
+		if m == addrC {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("joined worker %s missing from roster %v", addrC, members)
+	}
+	if got := counter(c, "fleet/cache_hits"); got == 0 {
+		t.Error("fleet/cache_hits = 0; failovers recomputed cells the tier already held")
+	}
+	if got := counter(c, "fleet/recompute_avoided"); got == 0 {
+		t.Error("fleet/recompute_avoided = 0 after failing over warmed cells")
+	}
+
+	// Byte-identity with a single-node run, across the kill and the join.
+	_, soloTS := startWorker(t)
+	_, soloBody := postJSON(t, soloTS.URL+"/v1/grid", req)
+	if !bytes.Equal(body, soloBody) {
+		t.Errorf("churned grid differs from single-node run:\nfleet: %s\nsolo:  %s", body, soloBody)
+	}
+
+	// The tier's work is visible on /metrics.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, series := range []string{"bschedd_fleet_cache_hits", "bschedd_fleet_joins", "bschedd_fleet_epoch"} {
+		if !strings.Contains(string(metrics), series) {
+			t.Errorf("/metrics missing %s", series)
+		}
+	}
+}
+
+// TestFailoverServedFromPeerCache: the coordinator's own tier is cold
+// but the surviving worker has the cell in its local result cache — the
+// failover fetches the bytes over GET /v1/cache/{key} instead of
+// recomputing, and they are byte-identical to the worker's own answer.
+func TestFailoverServedFromPeerCache(t *testing.T) {
+	addrA, ksA := startKillableWorker(t, 0)
+	addrB, tsB := startWorker(t)
+	c := newCoordinator(t, func(cfg *Config) {
+		cfg.RetryBackoff = 5 * time.Millisecond
+	}, addrA, addrB)
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	// Find a benchmark owned by the killable worker.
+	bench := ""
+	for _, b := range []string{"tomcatv", "TRFD", "ora", "swm256", "DYFESM", "alvinn", "doduc", "ear", "ARC2D", "BDNA", "MDG", "QCD2", "dnasa7", "hydro2d", "mdljdp2", "spice2g6", "su2cor"} {
+		if c.OwnerAddr(b) == addrA {
+			bench = b
+			break
+		}
+	}
+	if bench == "" {
+		t.Fatal("killable worker owns no benchmark (vanishingly unlikely)")
+	}
+
+	// Warm the SURVIVOR's local cache directly, bypassing the
+	// coordinator so its own tier stays cold for this cell.
+	creq := server.CompileRequest{Bench: bench, Config: "BS"}
+	bresp, directBody := postJSON(t, tsB.URL+"/v1/compile", creq)
+	if bresp.StatusCode != http.StatusOK {
+		t.Fatalf("direct warm compile: status %d", bresp.StatusCode)
+	}
+
+	// Kill the owner; the failover must find the bytes in B's cache.
+	ksA.armed.Store(true)
+	resp, body := postJSON(t, ts.URL+"/v1/compile", creq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("failover compile: status %d body %s", resp.StatusCode, body)
+	}
+	if got, want := resp.Header.Get("X-Served-By"), "peer-cache:"+addrB; got != want {
+		t.Errorf("X-Served-By = %q, want %q", got, want)
+	}
+	if !bytes.Equal(body, directBody) {
+		t.Errorf("peer-cache bytes differ from the worker's own response:\npeer:   %s\ndirect: %s", body, directBody)
+	}
+	if got := counter(c, "fleet/cache_peer_hits"); got != 1 {
+		t.Errorf("fleet/cache_peer_hits = %d, want 1", got)
+	}
+	if got := counter(c, "fleet/recompute_avoided"); got != 1 {
+		t.Errorf("fleet/recompute_avoided = %d, want 1", got)
 	}
 }
 
@@ -285,7 +434,7 @@ func TestHedgedDispatchRescuesStraggler(t *testing.T) {
 	defer ts.Close()
 
 	// Stall whichever worker owns the benchmark; its replica stays fast.
-	primary := c.workers[c.ring.replicas("tomcatv")[0]].addr
+	primary := c.OwnerAddr("tomcatv")
 	hedgeTarget := addrA
 	if primary == addrA {
 		hedgeTarget = addrB
@@ -314,7 +463,7 @@ func TestHedgedDispatchRescuesStraggler(t *testing.T) {
 	}
 	// The canceled straggler is not a fault: its worker stays healthy and
 	// its breaker closed.
-	for _, w := range c.workers {
+	for _, w := range c.members.all() {
 		if w.addr == primary {
 			if !w.healthy.Load() {
 				t.Error("stalled worker marked unhealthy by its canceled hedge loser")
@@ -341,7 +490,7 @@ func TestFaultInjectedLinkFailureFailsOver(t *testing.T) {
 	ts := httptest.NewServer(c.Handler())
 	defer ts.Close()
 
-	owner := c.workers[c.ring.replicas("tomcatv")[0]].addr
+	owner := c.OwnerAddr("tomcatv")
 	replica := addrA
 	if owner == addrA {
 		replica = addrB
@@ -454,7 +603,7 @@ func TestWorkerBreakerOpensAndRecovers(t *testing.T) {
 		}
 		time.Sleep(25 * time.Millisecond)
 	}
-	if got := c.workers[0].brk.State(); got != server.BreakerClosed {
+	if got := c.members.get(addr).brk.State(); got != server.BreakerClosed {
 		t.Errorf("worker breaker state %s after recovery, want closed",
 			server.BreakerStateName(got))
 	}

@@ -62,13 +62,14 @@ type dispatchResult struct {
 // the cell comes back as a structured degraded failure.
 func (c *Coordinator) dispatchCell(ctx context.Context, id, bench, config string, verify bool, deadlineMS int64) dispatchResult {
 	res := dispatchResult{bench: bench, config: config, verify: verify}
-	if body, ok := c.resumed[cellKey(bench, config, verify)]; ok {
+	key := cellKey(bench, config, verify)
+	if body, ok := c.resumed[key]; ok {
 		c.stats.Inc("fleet/resume_hits")
+		c.promote(key, body)
 		res.body, res.worker = body, "resume"
 		return res
 	}
 
-	order := c.ring.replicas(bench)
 	backoff := c.cfg.RetryBackoff
 	var last *cellFailure
 	var lastWorker *worker
@@ -79,6 +80,11 @@ func (c *Coordinator) dispatchCell(ctx context.Context, id, bench, config string
 			return res
 		}
 		now := time.Now()
+		// Re-resolve the replica order every attempt, not once per cell:
+		// a worker that joins mid-grid starts absorbing failovers (and
+		// fresh cells) immediately, and one that leaves stops being a
+		// dispatch target the moment the ring drops it.
+		order := c.members.replicaWorkers(bench)
 		w, next := c.pickFrom(order, rot, now)
 		if w == nil {
 			// Nothing dispatchable right now. A fully dead fleet degrades
@@ -97,6 +103,16 @@ func (c *Coordinator) dispatchCell(ctx context.Context, id, bench, config string
 			backoff = growBackoff(backoff)
 			continue
 		}
+		// Failover path: before recomputing the cell on a non-primary
+		// worker (or on any retry), consult the shared cache tier — the
+		// primary may already have served these exact bytes before dying.
+		if res.attempts >= 1 || w != order[0] {
+			if body, label, ok := c.tierLookup(ctx, key); ok {
+				res.body, res.worker = body, label
+				c.stats.Inc("fleet/cells_ok")
+				return res
+			}
+		}
 		res.attempts++
 		rot++
 		if res.attempts > 1 {
@@ -114,6 +130,7 @@ func (c *Coordinator) dispatchCell(ctx context.Context, id, bench, config string
 		}
 		if o.ok {
 			res.body = o.body
+			c.promote(key, o.body)
 			c.stats.Inc("fleet/cells_ok")
 			return res
 		}
@@ -132,6 +149,12 @@ func (c *Coordinator) dispatchCell(ctx context.Context, id, bench, config string
 			return res
 		}
 		backoff = growBackoff(backoff)
+	}
+	// Attempts exhausted: the tier is the last stop before degrading.
+	if body, label, ok := c.tierLookup(ctx, key); ok {
+		res.body, res.worker = body, label
+		c.stats.Inc("fleet/cells_ok")
+		return res
 	}
 	c.stats.Inc("fleet/degraded_cells")
 	res.fail = degradedFailure(bench, config, last, "all replicas exhausted")

@@ -1,8 +1,8 @@
 // Package fleet is bschedd's coordinator mode: one process that shards
 // /v1/grid cells across a fleet of worker daemons and keeps serving
-// while workers die. It is the distributed analogue of the paper's
-// balanced-scheduling insight — spread work to where the latency
-// estimates say capacity is — applied to processes instead of
+// while workers die, join and leave. It is the distributed analogue of
+// the paper's balanced-scheduling insight — spread work to where the
+// latency estimates say capacity is — applied to processes instead of
 // functional units:
 //
 //   - Sharding: cells route by consistent hash on benchmark name, so
@@ -10,10 +10,18 @@
 //     per-benchmark front-end and LRU result caches stay hot. Virtual
 //     nodes keep the shards balanced; walking the ring yields each
 //     cell's deterministic failover order.
-//   - Health: every worker is probed via GET /readyz on its own loop —
+//   - Membership: the fleet is elastic. Workers join via POST
+//     /v1/fleet/join (probed synchronously, taking new cells within one
+//     probe interval), leave via POST /v1/fleet/leave (in-flight cells
+//     drain, new cells stop routing at once), and are evicted after
+//     sustained probe failure. The ring mutates incrementally, so a
+//     membership change moves only ~1/n of the keyspace — every other
+//     benchmark keeps its worker, and that worker keeps its hot caches.
+//   - Health: every member is probed via GET /readyz on its own loop —
 //     steady cadence while healthy, exponential backoff while down —
 //     and dispatch-time transport failures mark a worker unhealthy
-//     immediately rather than waiting for the next probe.
+//     immediately rather than waiting for the next probe. A probe loop
+//     lives exactly as long as its worker's membership.
 //   - Robustness: per-cell retry with jittered backoff fails over to
 //     the next healthy worker on the ring; straggler cells are hedged
 //     onto the next replica after a delay (first result wins); a
@@ -23,6 +31,13 @@
 //     as per-worker backoff windows. When every replica is exhausted a
 //     cell degrades to a structured error entry — a grid response never
 //     fails whole.
+//   - Shared cache tier: every served cell's bytes are promoted into a
+//     coordinator-side LRU, and a failover consults that tier — then
+//     the surviving workers' own result caches over GET /v1/cache/{key}
+//     — before recomputing, so a worker death stops costing
+//     recomputation of everything it had already served. Cached bytes
+//     are byte-identical to cold bytes (the documents are
+//     deterministic), so the tier never changes a response.
 //   - Streaming: /v1/grid?stream=jsonl (or sse) emits each cell as it
 //     completes instead of buffering the whole grid; the buffered
 //     default stays byte-identical to a single-node bschedd response.
@@ -53,8 +68,9 @@ import (
 // Config parameterizes a Coordinator. The zero value of every field but
 // Workers gets a sensible default from New.
 type Config struct {
-	// Workers are the worker daemons' host:port addresses. At least one
-	// is required.
+	// Workers are the initial worker daemons' host:port addresses. At
+	// least one is required at startup; the fleet is elastic afterwards
+	// (POST /v1/fleet/join and /v1/fleet/leave).
 	Workers []string
 	// VNodes is the number of virtual ring points per worker. Default 64.
 	VNodes int
@@ -80,12 +96,29 @@ type Config struct {
 	ProbeMaxInterval time.Duration
 	// ProbeTimeout bounds one health-check request. Default 1s.
 	ProbeTimeout time.Duration
+	// EvictAfterFails removes a worker from the fleet after this many
+	// consecutive failed health probes (its probe loop stops, its keys
+	// remap to the survivors). 0 disables eviction — dead workers stay
+	// on the roster and are probed back into rotation if they revive.
+	// The last member is never auto-evicted. Default 0.
+	EvictAfterFails int
+	// MinWorkers is the readiness quorum: /readyz answers 503 (naming
+	// the down workers) while fewer than this many members are healthy.
+	// Default 1.
+	MinWorkers int
 	// BreakerThreshold is the consecutive transport-level failures that
 	// open a worker's circuit breaker. Default 3.
 	BreakerThreshold int
 	// BreakerCooldown is how long an open worker breaker waits before a
 	// half-open probe dispatch. Default 5s.
 	BreakerCooldown time.Duration
+	// CacheEntries is the coordinator's shared result-cache tier
+	// capacity (entries). Every served cell's bytes are promoted here;
+	// failovers consult it before recomputing. Default 4096.
+	CacheEntries int
+	// PeerFetchTimeout bounds one GET /v1/cache/{key} peer-cache fetch
+	// during failover. Default 750ms.
+	PeerFetchTimeout time.Duration
 	// DefaultDeadline is the per-request deadline when the client sets
 	// none. Default 60s.
 	DefaultDeadline time.Duration
@@ -127,7 +160,13 @@ type worker struct {
 	backoffUntil atomic.Int64
 	// probeFails counts consecutive failed health probes.
 	probeFails atomic.Int64
+	// stop ends the worker's probe loop when it leaves or is evicted;
+	// stopOnce makes Leave and eviction race-safe.
+	stop     chan struct{}
+	stopOnce sync.Once
 }
+
+func (w *worker) stopProbe() { w.stopOnce.Do(func() { close(w.stop) }) }
 
 func (w *worker) backedOff(now time.Time) bool {
 	return now.UnixNano() < w.backoffUntil.Load()
@@ -145,11 +184,12 @@ func (w *worker) backOff(now time.Time, d time.Duration) {
 	}
 }
 
-// Coordinator shards grid cells across a worker fleet. Create with New.
+// Coordinator shards grid cells across an elastic worker fleet. Create
+// with New.
 type Coordinator struct {
 	cfg     Config
-	workers []*worker
-	ring    *ring
+	members *membership
+	tier    *cacheTier
 	stats   *obs.SyncStats
 	client  *http.Client
 	jnl     *cellJournal
@@ -205,11 +245,23 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.ProbeTimeout <= 0 {
 		cfg.ProbeTimeout = time.Second
 	}
+	if cfg.EvictAfterFails < 0 {
+		cfg.EvictAfterFails = 0
+	}
+	if cfg.MinWorkers <= 0 {
+		cfg.MinWorkers = 1
+	}
 	if cfg.BreakerThreshold <= 0 {
 		cfg.BreakerThreshold = 3
 	}
 	if cfg.BreakerCooldown <= 0 {
 		cfg.BreakerCooldown = 5 * time.Second
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 4096
+	}
+	if cfg.PeerFetchTimeout <= 0 {
+		cfg.PeerFetchTimeout = 750 * time.Millisecond
 	}
 	if cfg.DefaultDeadline <= 0 {
 		cfg.DefaultDeadline = 60 * time.Second
@@ -250,7 +302,8 @@ func New(cfg Config) (*Coordinator, error) {
 	probeCtx, probeCancel := context.WithCancel(context.Background())
 	c := &Coordinator{
 		cfg:         cfg,
-		ring:        newRing(cfg.Workers, cfg.VNodes),
+		members:     newMembership(cfg.VNodes),
+		tier:        newCacheTier(cfg.CacheEntries),
 		stats:       obs.NewSyncStats(),
 		client:      client,
 		jnl:         jnl,
@@ -261,22 +314,25 @@ func New(cfg Config) (*Coordinator, error) {
 		probeCancel: probeCancel,
 	}
 	for _, addr := range cfg.Workers {
-		w := &worker{
-			addr: addr,
-			base: "http://" + addr,
-			brk:  server.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
-			sem:  make(chan struct{}, cfg.Inflight),
+		if err := validateWorkerAddr(addr); err != nil {
+			probeCancel()
+			baseCancel()
+			return nil, err
 		}
+		w := c.newWorker(addr)
 		// Workers start optimistically healthy: the first dispatch or the
 		// first probe corrects the guess, and starting pessimistic would
 		// reject the first grid to arrive before the probe loop's first
 		// round trip.
 		w.healthy.Store(true)
-		c.workers = append(c.workers, w)
+		if !c.members.add(w) {
+			probeCancel()
+			baseCancel()
+			return nil, fmt.Errorf("fleet: duplicate worker address %q", addr)
+		}
 	}
-	for _, w := range c.workers {
-		c.probeWG.Add(1)
-		go c.probeLoop(w)
+	for _, w := range c.members.all() {
+		c.startProbe(w)
 	}
 	if len(resumed) > 0 {
 		cfg.Logger.Info("resume loaded", "cells", len(resumed), "journal", cfg.Journal)
@@ -284,9 +340,17 @@ func New(cfg Config) (*Coordinator, error) {
 	return c, nil
 }
 
-// probeLoop health-checks one worker until the coordinator drains:
-// steady ProbeInterval cadence while the worker answers /readyz 200,
-// exponential backoff up to ProbeMaxInterval while it does not.
+// StatsSnapshot returns the coordinator's counter/histogram registry —
+// the same data /metrics renders — for in-process consumers like the
+// churn drill.
+func (c *Coordinator) StatsSnapshot() *obs.Snapshot {
+	return c.stats.Snapshot()
+}
+
+// probeLoop health-checks one worker until it leaves the fleet or the
+// coordinator drains: steady ProbeInterval cadence while the worker
+// answers /readyz 200, exponential backoff up to ProbeMaxInterval while
+// it does not, eviction after EvictAfterFails consecutive failures.
 func (c *Coordinator) probeLoop(w *worker) {
 	defer c.probeWG.Done()
 	interval := c.cfg.ProbeInterval
@@ -294,6 +358,9 @@ func (c *Coordinator) probeLoop(w *worker) {
 		timer := time.NewTimer(jitterDur(interval))
 		select {
 		case <-timer.C:
+		case <-w.stop:
+			timer.Stop()
+			return
 		case <-c.probeCtx.Done():
 			timer.Stop()
 			return
@@ -307,10 +374,13 @@ func (c *Coordinator) probeLoop(w *worker) {
 			}
 			interval = c.cfg.ProbeInterval
 		} else {
-			w.probeFails.Add(1)
+			fails := w.probeFails.Add(1)
 			if w.healthy.Swap(false) {
 				c.stats.Inc("fleet/worker_down")
 				c.cfg.Logger.Warn("worker unhealthy", "worker", w.addr)
+			}
+			if c.cfg.EvictAfterFails > 0 && fails >= int64(c.cfg.EvictAfterFails) && c.evict(w) {
+				return
 			}
 			interval *= 2
 			if interval > c.cfg.ProbeMaxInterval {
@@ -339,10 +409,10 @@ func (c *Coordinator) probeOnce(w *worker) bool {
 	return resp.StatusCode == http.StatusOK
 }
 
-// healthyCount reports how many workers currently look dispatchable.
+// healthyCount reports how many members currently look dispatchable.
 func (c *Coordinator) healthyCount() int {
 	n := 0
-	for _, w := range c.workers {
+	for _, w := range c.members.all() {
 		if w.healthy.Load() {
 			n++
 		}
@@ -350,12 +420,23 @@ func (c *Coordinator) healthyCount() int {
 	return n
 }
 
+// downWorkers lists the members that are currently unhealthy, sorted.
+func (c *Coordinator) downWorkers() []string {
+	var out []string
+	for _, w := range c.members.all() {
+		if !w.healthy.Load() {
+			out = append(out, w.addr)
+		}
+	}
+	return out
+}
+
 // pickFrom returns the first eligible worker scanning the cell's replica
 // order from rotation offset rot — healthy and not inside a Retry-After
 // window — plus the next eligible worker after it (the hedge target).
-func (c *Coordinator) pickFrom(order []int, rot int, now time.Time) (w, next *worker) {
+func (c *Coordinator) pickFrom(order []*worker, rot int, now time.Time) (w, next *worker) {
 	for i := 0; i < len(order); i++ {
-		cand := c.workers[order[(rot+i)%len(order)]]
+		cand := order[(rot+i)%len(order)]
 		if !cand.healthy.Load() || cand.backedOff(now) {
 			continue
 		}

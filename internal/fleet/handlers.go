@@ -25,6 +25,9 @@ func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/compile", c.handleCompile)
 	mux.HandleFunc("/v1/grid", c.handleGrid)
+	mux.HandleFunc("/v1/fleet/join", c.handleJoin)
+	mux.HandleFunc("/v1/fleet/leave", c.handleLeave)
+	mux.HandleFunc("/v1/fleet/members", c.handleMembers)
 	mux.HandleFunc("/healthz", c.handleHealthz)
 	mux.HandleFunc("/readyz", c.handleReadyz)
 	mux.HandleFunc("/metrics", c.handleMetrics)
@@ -371,8 +374,9 @@ type workerStatus struct {
 
 func (c *Coordinator) workerStatuses() map[string]workerStatus {
 	now := time.Now()
-	out := make(map[string]workerStatus, len(c.workers))
-	for _, w := range c.workers {
+	members := c.members.all()
+	out := make(map[string]workerStatus, len(members))
+	for _, w := range members {
 		st := workerStatus{
 			Healthy:    w.healthy.Load(),
 			Breaker:    server.BreakerStateName(w.brk.State()),
@@ -387,21 +391,105 @@ func (c *Coordinator) workerStatuses() map[string]workerStatus {
 	return out
 }
 
+// handleReadyz is quorum-aware: the coordinator is ready only while at
+// least MinWorkers members are healthy. Below quorum it answers 503 and
+// the body names the down workers, so an operator (or a load balancer's
+// failure page) sees who to revive without grepping logs.
 func (c *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	draining := c.isDraining()
 	healthy := c.healthyCount()
-	ready := !draining && healthy > 0
+	ready := !draining && healthy >= c.cfg.MinWorkers
 	body := map[string]any{
 		"ready":           ready,
 		"draining":        draining,
 		"workers_healthy": healthy,
+		"min_workers":     c.cfg.MinWorkers,
+		"epoch":           c.members.generation(),
 		"workers":         c.workerStatuses(),
+	}
+	if down := c.downWorkers(); len(down) > 0 {
+		body["down_workers"] = down
 	}
 	status := http.StatusOK
 	if !ready {
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, body)
+}
+
+// fleetChangeRequest is the body of /v1/fleet/join and /v1/fleet/leave.
+type fleetChangeRequest struct {
+	Addr string `json:"addr"`
+}
+
+// handleJoin admits a worker into the running fleet. The reply reports
+// whether the address was newly admitted (joined=false means it was
+// already a member — the call is idempotent), its initial health, and
+// the resulting roster size and membership epoch.
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	id := c.requestID(r)
+	w.Header().Set("X-Request-Id", id)
+	if r.Method != http.MethodPost {
+		c.writeFailure(w, id, http.StatusMethodNotAllowed, "bad_request", "POST only", "", "", "")
+		return
+	}
+	var req fleetChangeRequest
+	if status, kind, msg := c.decodeBody(w, r, &req); status != 0 {
+		c.writeFailure(w, id, status, kind, msg, "", "", "")
+		return
+	}
+	joined, healthy, err := c.Join(req.Addr)
+	if err != nil {
+		status, kind := http.StatusBadRequest, "bad_request"
+		if c.isDraining() {
+			status, kind = http.StatusServiceUnavailable, "draining"
+		}
+		c.writeFailure(w, id, status, kind, err.Error(), "", "", "")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"joined":  joined,
+		"worker":  req.Addr,
+		"healthy": healthy,
+		"workers": c.members.size(),
+		"epoch":   c.members.generation(),
+	})
+}
+
+// handleLeave removes a worker from the running fleet: its probe loop
+// stops, new cells stop routing to it immediately, and cells already in
+// flight on it drain to completion.
+func (c *Coordinator) handleLeave(w http.ResponseWriter, r *http.Request) {
+	id := c.requestID(r)
+	w.Header().Set("X-Request-Id", id)
+	if r.Method != http.MethodPost {
+		c.writeFailure(w, id, http.StatusMethodNotAllowed, "bad_request", "POST only", "", "", "")
+		return
+	}
+	var req fleetChangeRequest
+	if status, kind, msg := c.decodeBody(w, r, &req); status != 0 {
+		c.writeFailure(w, id, status, kind, msg, "", "", "")
+		return
+	}
+	if !c.Leave(req.Addr) {
+		c.writeFailure(w, id, http.StatusNotFound, "bad_request",
+			fmt.Sprintf("worker %q is not a fleet member", req.Addr), "", "", "")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"left":    req.Addr,
+		"workers": c.members.size(),
+		"epoch":   c.members.generation(),
+	})
+}
+
+// handleMembers reports the current roster with live status.
+func (c *Coordinator) handleMembers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"workers": c.workerStatuses(),
+		"epoch":   c.members.generation(),
+		"healthy": c.healthyCount(),
+	})
 }
 
 func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -416,10 +504,13 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	now := time.Now()
 	gw := obs.NewGaugeWriter(w)
-	gw.Gauge(c.cfg.MetricsPrefix+"fleet_workers", nil, int64(len(c.workers)))
+	gw.Gauge(c.cfg.MetricsPrefix+"fleet_workers", nil, int64(c.members.size()))
 	gw.Gauge(c.cfg.MetricsPrefix+"fleet_workers_healthy", nil, int64(c.healthyCount()))
+	gw.Gauge(c.cfg.MetricsPrefix+"fleet_min_workers", nil, int64(c.cfg.MinWorkers))
+	gw.Gauge(c.cfg.MetricsPrefix+"fleet_epoch", nil, int64(c.members.generation()))
+	gw.Gauge(c.cfg.MetricsPrefix+"fleet_cache_entries", nil, int64(c.tier.len()))
 	gw.Gauge(c.cfg.MetricsPrefix+"draining", nil, draining)
-	for _, wk := range c.workers {
+	for _, wk := range c.members.all() {
 		label := map[string]string{"worker": wk.addr}
 		healthy := int64(0)
 		if wk.healthy.Load() {
@@ -453,8 +544,11 @@ func (c *Coordinator) handleDebugObs(w http.ResponseWriter, r *http.Request) {
 	doc := debugObsDoc{
 		Stats: c.stats.Snapshot(),
 		Gauges: map[string]int64{
-			"fleet_workers":         int64(len(c.workers)),
+			"fleet_workers":         int64(c.members.size()),
 			"fleet_workers_healthy": int64(c.healthyCount()),
+			"fleet_min_workers":     int64(c.cfg.MinWorkers),
+			"fleet_epoch":           int64(c.members.generation()),
+			"fleet_cache_entries":   int64(c.tier.len()),
 			"draining":              draining,
 		},
 		Workers: c.workerStatuses(),

@@ -4,7 +4,7 @@ import "sort"
 
 // ring is the coordinator's consistent-hash ring: every worker owns
 // vnodes points on a 64-bit circle, and a benchmark's cells land on the
-// worker owning the first point at or after the benchmark's hash. Two
+// worker owning the first point at or after the benchmark's hash. Three
 // properties matter here:
 //
 //   - Affinity: cells hash by benchmark name (not by full cell key), so
@@ -14,52 +14,95 @@ import "sort"
 //   - Stable failover order: walking the circle past the owner yields a
 //     deterministic sequence of distinct fallback workers, so retries
 //     and hedges always know "the next worker" without coordination.
+//   - Bounded movement: membership is dynamic, and the ring mutates
+//     incrementally — add splices one worker's points into the sorted
+//     circle, remove filters them out — so a join moves only the keys
+//     whose owning arc the newcomer bisects (~1/(n+1) of them) and a
+//     leave moves only the departed worker's keys. Every other key
+//     keeps its owner, which is what keeps the surviving workers'
+//     caches hot through membership churn (property-tested in
+//     rebalance_test.go).
+//
+// ring is not goroutine-safe; the membership manager guards it.
 type ring struct {
-	points []ringPoint
-	n      int // distinct workers
+	points []ringPoint // sorted by (h, addr)
+	n      int         // distinct workers
 }
 
 type ringPoint struct {
 	h    uint64
-	widx int
+	addr string
 }
 
-// newRing builds a ring over n workers named by addrs, with vnodes
-// virtual points each.
-func newRing(addrs []string, vnodes int) *ring {
-	r := &ring{n: len(addrs)}
-	for i, addr := range addrs {
-		for v := 0; v < vnodes; v++ {
-			r.points = append(r.points, ringPoint{h: fnv64(addr, byte(v), byte(v>>8)), widx: i})
-		}
+// newRing builds an empty ring; populate it with add.
+func newRing() *ring { return &ring{} }
+
+// add splices addr's vnodes points into the circle. Adding an addr that
+// is already present is the caller's bug; the membership manager
+// deduplicates before calling.
+func (r *ring) add(addr string, vnodes int) {
+	pts := make([]ringPoint, 0, vnodes)
+	for v := 0; v < vnodes; v++ {
+		pts = append(pts, ringPoint{h: fnv64(addr, byte(v), byte(v>>8)), addr: addr})
 	}
+	r.points = append(r.points, pts...)
 	sort.Slice(r.points, func(a, b int) bool {
 		if r.points[a].h != r.points[b].h {
 			return r.points[a].h < r.points[b].h
 		}
-		return r.points[a].widx < r.points[b].widx
+		return r.points[a].addr < r.points[b].addr
 	})
-	return r
+	r.n++
 }
 
-// replicas returns every worker index in preference order for key: the
-// ring owner first, then each next distinct worker around the circle.
-func (r *ring) replicas(key string) []int {
-	out := make([]int, 0, r.n)
+// remove filters addr's points out of the circle; unknown addrs are a
+// no-op. The surviving points keep their order, so every key not owned
+// by addr keeps its owner.
+func (r *ring) remove(addr string) {
+	kept := r.points[:0]
+	removed := false
+	for _, p := range r.points {
+		if p.addr == addr {
+			removed = true
+			continue
+		}
+		kept = append(kept, p)
+	}
+	r.points = kept
+	if removed {
+		r.n--
+	}
+}
+
+// replicas returns every worker address in preference order for key:
+// the ring owner first, then each next distinct worker around the
+// circle.
+func (r *ring) replicas(key string) []string {
+	out := make([]string, 0, r.n)
 	if len(r.points) == 0 {
 		return out
 	}
 	h := fnv64(key)
 	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
-	seen := make([]bool, r.n)
+	seen := make(map[string]bool, r.n)
 	for i := 0; i < len(r.points) && len(out) < r.n; i++ {
 		p := r.points[(start+i)%len(r.points)]
-		if !seen[p.widx] {
-			seen[p.widx] = true
-			out = append(out, p.widx)
+		if !seen[p.addr] {
+			seen[p.addr] = true
+			out = append(out, p.addr)
 		}
 	}
 	return out
+}
+
+// owner returns the address owning key, or "" on an empty ring.
+func (r *ring) owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := fnv64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	return r.points[start%len(r.points)].addr
 }
 
 // fnv64 hashes s plus optional salt bytes with FNV-1a.

@@ -5,10 +5,20 @@ import (
 	"testing"
 )
 
+// ringOf builds a populated ring the way membership does: one add per
+// worker address.
+func ringOf(vnodes int, addrs ...string) *ring {
+	r := newRing()
+	for _, a := range addrs {
+		r.add(a, vnodes)
+	}
+	return r
+}
+
 func TestRingReplicasDeterministic(t *testing.T) {
 	addrs := []string{"a:1", "b:2", "c:3"}
-	r1 := newRing(addrs, 64)
-	r2 := newRing(addrs, 64)
+	r1 := ringOf(64, addrs...)
+	r2 := ringOf(64, addrs...)
 	for _, key := range []string{"tomcatv", "TRFD", "ora", "swm256", "DYFESM"} {
 		a, b := r1.replicas(key), r2.replicas(key)
 		if !reflect.DeepEqual(a, b) {
@@ -20,22 +30,39 @@ func TestRingReplicasDeterministic(t *testing.T) {
 	}
 }
 
+// TestRingBuildOrderIrrelevant: the ring is a pure function of its
+// member set — the order workers joined in cannot change any owner.
+func TestRingBuildOrderIrrelevant(t *testing.T) {
+	r1 := ringOf(64, "a:1", "b:2", "c:3")
+	r2 := ringOf(64, "c:3", "a:1", "b:2")
+	for _, key := range []string{"tomcatv", "TRFD", "ora", "swm256", "DYFESM", "alvinn"} {
+		if !reflect.DeepEqual(r1.replicas(key), r2.replicas(key)) {
+			t.Errorf("replicas(%q) depend on join order: %v vs %v",
+				key, r1.replicas(key), r2.replicas(key))
+		}
+	}
+}
+
 func TestRingReplicasCoverAllWorkersOnce(t *testing.T) {
 	addrs := []string{"a:1", "b:2", "c:3", "d:4"}
-	r := newRing(addrs, 64)
+	r := ringOf(64, addrs...)
 	order := r.replicas("tomcatv")
 	if len(order) != len(addrs) {
 		t.Fatalf("replicas returned %d workers, want %d", len(order), len(addrs))
 	}
-	seen := map[int]bool{}
-	for _, idx := range order {
-		if idx < 0 || idx >= len(addrs) {
-			t.Fatalf("replica index %d out of range", idx)
+	seen := map[string]bool{}
+	valid := map[string]bool{}
+	for _, a := range addrs {
+		valid[a] = true
+	}
+	for _, addr := range order {
+		if !valid[addr] {
+			t.Fatalf("replica %q is not a fleet member", addr)
 		}
-		if seen[idx] {
-			t.Fatalf("replica order %v repeats worker %d", order, idx)
+		if seen[addr] {
+			t.Fatalf("replica order %v repeats worker %s", order, addr)
 		}
-		seen[idx] = true
+		seen[addr] = true
 	}
 }
 
@@ -43,16 +70,15 @@ func TestRingReplicasCoverAllWorkersOnce(t *testing.T) {
 // key hashes the benchmark name only), and different benchmarks spread
 // across the fleet rather than piling onto one worker.
 func TestRingAffinity(t *testing.T) {
-	addrs := []string{"a:1", "b:2", "c:3"}
-	r := newRing(addrs, 64)
+	r := ringOf(64, "a:1", "b:2", "c:3")
 	benches := []string{
 		"ARC2D", "BDNA", "DYFESM", "MDG", "QCD2", "TRFD",
 		"alvinn", "dnasa7", "doduc", "ear", "hydro2d", "mdljdp2",
 		"ora", "spice2g6", "su2cor", "swm256", "tomcatv",
 	}
-	owners := map[int]int{}
+	owners := map[string]int{}
 	for _, b := range benches {
-		owners[r.replicas(b)[0]]++
+		owners[r.owner(b)]++
 	}
 	if len(owners) < 2 {
 		t.Errorf("all %d benchmarks hashed to one worker: %v", len(benches), owners)
@@ -63,15 +89,40 @@ func TestRingAffinity(t *testing.T) {
 // owned; every other key keeps its owner. This is the property that
 // keeps surviving workers' caches hot through a fleet death.
 func TestRingStableUnderRemoval(t *testing.T) {
-	full := []string{"a:1", "b:2", "c:3"}
-	rFull := newRing(full, 64)
-	rLess := newRing([]string{"a:1", "b:2"}, 64)
+	r := ringOf(64, "a:1", "b:2", "c:3")
 	keys := []string{"tomcatv", "TRFD", "ora", "swm256", "DYFESM", "alvinn", "doduc", "ear"}
+	was := map[string]string{}
 	for _, key := range keys {
-		was := full[rFull.replicas(key)[0]]
-		now := []string{"a:1", "b:2"}[rLess.replicas(key)[0]]
-		if was != "c:3" && was != now {
-			t.Errorf("key %q moved %s -> %s though its owner survived", key, was, now)
+		was[key] = r.owner(key)
+	}
+	r.remove("c:3")
+	for _, key := range keys {
+		now := r.owner(key)
+		if was[key] != "c:3" && was[key] != now {
+			t.Errorf("key %q moved %s -> %s though its owner survived", key, was[key], now)
 		}
+		if now == "c:3" {
+			t.Errorf("key %q still owned by removed worker", key)
+		}
+	}
+}
+
+// TestRingEmptyAndSingle: an empty ring resolves nothing; a one-worker
+// ring owns everything.
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := newRing()
+	if got := r.owner("tomcatv"); got != "" {
+		t.Errorf("empty ring owner = %q, want \"\"", got)
+	}
+	if got := r.replicas("tomcatv"); len(got) != 0 {
+		t.Errorf("empty ring replicas = %v, want none", got)
+	}
+	r.add("a:1", 64)
+	if got := r.owner("tomcatv"); got != "a:1" {
+		t.Errorf("single-worker ring owner = %q, want a:1", got)
+	}
+	r.remove("a:1")
+	if got := r.owner("tomcatv"); got != "" {
+		t.Errorf("owner after removing the last worker = %q, want \"\"", got)
 	}
 }

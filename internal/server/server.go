@@ -40,8 +40,10 @@ import (
 	"log/slog"
 	"math/rand/v2"
 	"net/http"
+	"net/url"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -188,11 +190,44 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/compile", s.handleCompile)
 	mux.HandleFunc("/v1/grid", s.handleGrid)
+	mux.HandleFunc("/v1/cache/", s.handleCacheExport)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/obs", s.handleDebugObs)
 	return mux
+}
+
+// handleCacheExport serves this worker's result cache to fleet peers:
+// GET /v1/cache/{key}, where key is the URL-escaped cell key
+// (bench|config[|verify]). A hit answers 200 with the exact cached
+// bytes; a miss answers 404 and never triggers a compute — peers probe
+// this path during failover, and a probe must always be cheaper than
+// just recomputing. Deliberately allowed while draining: exporting
+// already-computed bytes is how a dying worker's work survives it.
+func (s *Server) handleCacheExport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, r.Header.Get("X-Request-Id"), &reqError{
+			status: http.StatusMethodNotAllowed, kind: "bad_request", msg: "GET only"})
+		return
+	}
+	key, err := url.PathUnescape(strings.TrimPrefix(r.URL.Path, "/v1/cache/"))
+	if err != nil || key == "" {
+		s.writeError(w, r.Header.Get("X-Request-Id"), badRequest("bad cache key"))
+		return
+	}
+	if body, ok := s.cache.get(key); ok {
+		s.count("server/cache_export_hits")
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", "export")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(body)
+		return
+	}
+	s.count("server/cache_export_misses")
+	s.writeError(w, r.Header.Get("X-Request-Id"), &reqError{
+		status: http.StatusNotFound, kind: "not_found",
+		msg: fmt.Sprintf("cell %q is not cached", key)})
 }
 
 func (s *Server) count(name string) { s.countN(name, 1) }
