@@ -13,11 +13,14 @@ package repro_test
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/exp"
+	"repro/internal/hlirgen"
 	"repro/internal/lower"
 	"repro/internal/profile"
 	"repro/internal/regalloc"
@@ -147,6 +150,48 @@ func BenchmarkGridEngine(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkGridEngineGenerated measures the engine on a seeded generated
+// corpus (internal/hlirgen) instead of the paper benchmarks, so the cell
+// count scales far past the 17×16 paper grid. The corpus size comes from
+// GRID_BENCH_PROGRAMS (default 40 programs × 5 reduced configs = 200
+// cells); the million-cell drill sets it to 200000 (10⁶ cells):
+//
+//	GRID_BENCH_PROGRAMS=200000 go test -run '^$' \
+//	    -bench GridEngineGenerated/jobs=gomaxprocs -benchtime 1x
+//
+// Corpus minting happens outside the timed loop, so ns/op is pure engine:
+// queue sharding, stealing, pool traffic, merge.
+func BenchmarkGridEngineGenerated(b *testing.B) {
+	n := 40
+	if s := os.Getenv("GRID_BENCH_PROGRAMS"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			b.Fatalf("bad GRID_BENCH_PROGRAMS=%q", s)
+		}
+		n = v
+	}
+	items, err := hlirgen.Corpus(7, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cells := float64(n * len(exp.GenCells()))
+	for _, jobs := range []int{1, 0} {
+		name := fmt.Sprintf("jobs=%d", jobs)
+		if jobs == 0 {
+			name = "jobs=gomaxprocs"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := exp.RunGenerated(items, exp.Options{Jobs: jobs}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(cells, "cells")
+			b.ReportMetric(cells/b.Elapsed().Seconds()*float64(b.N), "cells/s")
 		})
 	}
 }

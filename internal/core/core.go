@@ -275,13 +275,10 @@ func CompileWithOptions(p *hlir.Program, cfg Config, data *Data, profiles *Profi
 	}
 
 	if cfg.Trace {
-		var edges profile.Edges
-		if profiles != nil {
-			edges = profiles.get(cfg)
-		}
-		if edges == nil {
-			err := phase("profile", &out.Phases.Profile, func() error {
-				e, reused, err := profile.CollectPooled(res.Fn, func(m *sim.Machine) {
+		collect := func() (profile.Edges, error) {
+			var e profile.Edges
+			perr := phase("profile", &out.Phases.Profile, func() error {
+				ee, reused, err := profile.CollectPooled(res.Fn, func(m *sim.Machine) {
 					InitMachine(m, res.ArrayID, data)
 				}, opt.Pool)
 				if opt.Pool != nil {
@@ -291,16 +288,23 @@ func CompileWithOptions(p *hlir.Program, cfg Config, data *Data, profiles *Profi
 						st.Inc("sim/machine_pool_misses")
 					}
 				}
-				edges = e
+				e = ee
 				return err
 			})
-			if err != nil {
-				return nil, fmt.Errorf("core: profiling %s: %w", p.Name, err)
-			}
-			if profiles != nil {
-				profiles.put(cfg, edges)
-			}
+			return e, perr
+		}
+		var edges profile.Edges
+		var hit bool
+		var perr error
+		if profiles != nil {
+			edges, hit, perr = profiles.getOrCollect(cfg, collect)
 		} else {
+			edges, perr = collect()
+		}
+		if perr != nil {
+			return nil, fmt.Errorf("core: profiling %s: %w", p.Name, perr)
+		}
+		if hit {
 			// Cache hit: the counts are for an identical CFG; only the
 			// per-block frequency annotation must be redone on this clone.
 			profile.Annotate(res.Fn, edges)
@@ -389,14 +393,20 @@ func ExecuteWidth(c *Compiled, data *Data, width int) (*sim.Metrics, uint64, err
 // counters. Pooled and fresh runs are bit-identical. ob, when it carries
 // a worker timeline, gets the pool get/put windows flagged as
 // block-pool so contention on the shared per-benchmark pool is visible
-// on the worker's state lane; nil ob adds a single nil check.
+// on the worker's state lane; nil ob adds a single nil check. ob's Lane
+// doubles as the pool shard hint, giving each engine worker lock and
+// machine affinity with its own shard.
 func ExecutePooled(c *Compiled, data *Data, width int, pool *sim.Pool, ob *obs.Obs) (met *sim.Metrics, sum uint64, reused bool, err error) {
 	var m *sim.Machine
+	lane := 0
+	if ob != nil {
+		lane = ob.Lane
+	}
 	if pool == nil {
 		m, err = sim.New(c.Fn)
 	} else {
 		ob.State(obs.StateBlockPool)
-		m, reused, err = pool.Get(c.Fn)
+		m, reused, err = pool.GetLane(c.Fn, lane)
 		ob.State(obs.StateRun)
 	}
 	if err != nil {
@@ -411,7 +421,7 @@ func ExecutePooled(c *Compiled, data *Data, width int, pool *sim.Pool, ob *obs.O
 	sum = Checksum(m, c)
 	if pool != nil {
 		ob.State(obs.StateBlockPool)
-		pool.Put(m)
+		pool.PutLane(m, lane)
 		ob.State(obs.StateRun)
 	}
 	return met, sum, reused, nil

@@ -74,14 +74,30 @@ func (t PhaseTimes) String() string {
 //
 // A cache must not be shared across different programs or input data:
 // the key only encodes the configuration's transform prefix.
+//
+// Lookups are single-flight per key: when several configurations sharing
+// a transform prefix compile concurrently, exactly one collects the
+// profile and the rest wait for it and count as cache hits. That keeps
+// redundant profiling runs from sneaking back in at high worker counts
+// and makes the hit count a pure function of the configuration set —
+// (trace configs) − (distinct transform keys) — independent of
+// scheduling order.
 type ProfileCache struct {
 	mu sync.Mutex
-	m  map[string]profile.Edges
+	m  map[string]*profileFlight
+}
+
+// profileFlight is one in-flight (or completed) profile collection; done
+// is closed once edges/err are final.
+type profileFlight struct {
+	done  chan struct{}
+	edges profile.Edges
+	err   error
 }
 
 // NewProfileCache returns an empty cache.
 func NewProfileCache() *ProfileCache {
-	return &ProfileCache{m: map[string]profile.Edges{}}
+	return &ProfileCache{m: map[string]*profileFlight{}}
 }
 
 // transformKey identifies the pipeline prefix ahead of profiling: every
@@ -90,14 +106,28 @@ func transformKey(cfg Config) string {
 	return fmt.Sprintf("LA=%v LU=%d PF=%v LICM=%v", cfg.Locality, cfg.Unroll, cfg.Prefetch, cfg.LICM)
 }
 
-func (pc *ProfileCache) get(cfg Config) profile.Edges {
+// getOrCollect returns the edge profile for cfg's transform key, running
+// collect on the first call for that key. hit reports whether the caller
+// must re-annotate its own function clone (every caller but the one that
+// ran collect). A failed collection is not cached: waiters of that
+// flight see its error, later callers retry from scratch.
+func (pc *ProfileCache) getOrCollect(cfg Config, collect func() (profile.Edges, error)) (edges profile.Edges, hit bool, err error) {
+	key := transformKey(cfg)
 	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	return pc.m[transformKey(cfg)]
-}
-
-func (pc *ProfileCache) put(cfg Config, e profile.Edges) {
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	pc.m[transformKey(cfg)] = e
+	if fl, ok := pc.m[key]; ok {
+		pc.mu.Unlock()
+		<-fl.done
+		return fl.edges, true, fl.err
+	}
+	fl := &profileFlight{done: make(chan struct{})}
+	pc.m[key] = fl
+	pc.mu.Unlock()
+	fl.edges, fl.err = collect()
+	if fl.err != nil {
+		pc.mu.Lock()
+		delete(pc.m, key)
+		pc.mu.Unlock()
+	}
+	close(fl.done)
+	return fl.edges, false, fl.err
 }

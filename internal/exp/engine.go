@@ -22,15 +22,32 @@ import (
 )
 
 // This file is the cell-parallel experiment engine. The grid's unit of
-// work is one (benchmark, configuration) cell, not one benchmark: a
-// bounded worker pool pulls cells from a queue, the benchmark front-end
-// (workload build + reference interpretation + edge-profile cache) runs
-// exactly once per benchmark and is shared read-only across its cells
-// (core.Compile's documented immutability contract), and finished cells
-// stream through a channel into a single aggregator goroutine — the only
-// writer of the result set — so the engine is clean under -race by
-// construction. The main grid (Run), the extension grids (E1/E2/E3) and
-// the fuzzing harness all execute through runGrid.
+// work is one (benchmark, configuration) cell, not one benchmark. The
+// engine is built so that no stage serializes the workers (the scale
+// report measured the old single-aggregator design flat-lining at
+// GOMAXPROCS):
+//
+//   - the task queue is sharded into per-worker deques with work
+//     stealing — a worker pops its own contiguous chunk from the front
+//     (keeping benchmark affinity) and steals from the back of a
+//     sibling's deque when its own runs dry, so wide widths do not
+//     starve behind a single channel;
+//   - benchmark front-ends (workload build + reference interpretation +
+//     edge-profile cache) are built in parallel as a pre-phase, one
+//     builder per benchmark, instead of lazily under a shared
+//     once-lock on the first cell that needs them;
+//   - finished cells land in per-worker result buffers — no aggregator
+//     goroutine, no result channel — and are merged deterministically
+//     (by task index) on the caller's goroutine after the workers join,
+//     so tables are byte-identical at every width by construction;
+//   - the JSONL journal is written by a batched asynchronous writer fed
+//     from a bounded queue, keeping disk latency off the workers' hot
+//     path while preserving the torn-tail/-resume contract;
+//   - each sim.Pool is sharded per worker lane, so the machine-pool
+//     mutex vanishes from the steady-state path.
+//
+// The main grid (Run), the extension grids (E1/E2/E3) and the fuzzing
+// harness all execute through runGrid.
 //
 // The engine is fault-isolated: every cell attempt runs in its own
 // goroutine with a recover guard and an optional deadline, so a panicking
@@ -53,8 +70,10 @@ type Options struct {
 	Jobs int
 	// Progress, when non-nil, is called after each completed cell with
 	// the running completion count, the total number of cells, and the
-	// finished cell's benchmark and configuration names. It is invoked
-	// from a single goroutine and needs no locking.
+	// finished cell's benchmark and configuration names. Calls are
+	// serialized (the engine holds a mutex across each invocation), so
+	// the callback needs no locking of its own, but they may come from
+	// different worker goroutines.
 	Progress func(done, total int, bench, config string)
 	// Tracer, when non-nil, records one span per cell (with nested
 	// compile-phase and simulation spans) on a lane per worker, for
@@ -112,6 +131,7 @@ type cellSpec struct {
 
 // cellResult is one completed (or failed) cell.
 type cellResult struct {
+	idx    int // position in the task queue; the deterministic merge key
 	bench  string
 	cfg    core.Config
 	mets   map[int]*sim.Metrics // by issue width; nil when the cell failed
@@ -389,14 +409,105 @@ func runCellAttempts(parent context.Context, fe *frontEnd, spec cellSpec, opt Op
 	}
 }
 
+// task is one queued cell, stamped with its queue position so the
+// end-of-run merge can restore deterministic order regardless of which
+// worker executed it.
+type task struct {
+	idx  int
+	fe   *frontEnd
+	spec cellSpec
+}
+
+// taskDeque is one worker's shard of the task queue. The owner pops from
+// the front (preserving the contiguous, benchmark-affine chunk order);
+// thieves steal from the back, so owner and thief contend on opposite
+// ends and a steal takes the task the owner would reach last. The lock
+// is a TimedMutex attributed to the "taskqueue" wait histogram, so
+// residual deque contention stays measurable.
+type taskDeque struct {
+	mu    obs.TimedMutex
+	tasks []task
+	head  int // owner pops here
+	tail  int // exclusive; thieves steal here
+}
+
+// popFront takes the owner's next task.
+func (d *taskDeque) popFront() (task, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head >= d.tail {
+		return task{}, false
+	}
+	t := d.tasks[d.head]
+	d.head++
+	return t, true
+}
+
+// stealBack takes a task from the victim's far end.
+func (d *taskDeque) stealBack() (task, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head >= d.tail {
+		return task{}, false
+	}
+	d.tail--
+	return d.tasks[d.tail], true
+}
+
+// shardTasks deals queue into n contiguous chunks: cells of one
+// benchmark are adjacent in queue order, so contiguous chunks give each
+// worker front-end and pool-shard affinity, with stealing rebalancing
+// the tail.
+func shardTasks(queue []task, n int) []*taskDeque {
+	deques := make([]*taskDeque, n)
+	chunk := (len(queue) + n - 1) / n
+	for w := 0; w < n; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if lo > len(queue) {
+			lo = len(queue)
+		}
+		if hi > len(queue) {
+			hi = len(queue)
+		}
+		deques[w] = &taskDeque{tasks: queue, head: lo, tail: hi}
+	}
+	return deques
+}
+
+// stealTask scans every other deque, starting after the thief's own
+// lane, and steals the first available task. attempts reports how many
+// victims were probed (empty-handed probes included).
+func stealTask(deques []*taskDeque, lane int) (t task, attempts int, ok bool) {
+	n := len(deques)
+	for i := 1; i < n; i++ {
+		v := (lane + i) % n
+		attempts++
+		if t, ok = deques[v].stealBack(); ok {
+			return t, attempts, true
+		}
+	}
+	return task{}, attempts, false
+}
+
+// workerTally is one worker's sharded output: its completed cells (in
+// execution order, sorted into queue order during the merge state) and
+// its steal statistics, merged into the engine counters at the end.
+type workerTally struct {
+	results       []cellResult
+	steals        int64
+	stealAttempts int64
+}
+
 // runGrid executes every (benchmark, spec) cell under opt and feeds
-// completed cells to emit, which runs on the caller's goroutine — the
-// single aggregation point — in completion order. Failed cells arrive at
-// emit too (with cellResult.err set); when any cell failed, runGrid
-// returns a *GridError after the whole grid has drained. eng, when
-// non-nil, receives the engine's robustness counters (cell panics,
-// timeouts, retries, errors, resumes, verification failures); it is only
-// touched from the aggregator.
+// completed cells to emit, which runs on the caller's goroutine after
+// the workers join, in deterministic queue order (resumed cells first,
+// then live cells by task index). Failed cells arrive at emit too (with
+// cellResult.err set); when any cell failed, runGrid returns a
+// *GridError after the whole grid has drained. eng, when non-nil,
+// receives the engine's robustness counters (cell panics, timeouts,
+// retries, errors, resumes, steals, verification failures); it is only
+// touched from the caller's goroutine.
 func runGrid(benches []workload.Benchmark, specs []cellSpec, opt Options, eng *obs.Stats, emit func(cellResult)) error {
 	fes := make([]*frontEnd, len(benches))
 	for i, b := range benches {
@@ -424,9 +535,20 @@ func runGrid(benches []workload.Benchmark, specs []cellSpec, opt Options, eng *o
 			}
 		}
 	}
+
+	// Pre-register every attributable resource, so an uncontended run
+	// reports zero-count series rather than omitting them (absence must
+	// mean "attribution off", never "no waits").
+	taskWait := opt.Contention.Hist("taskqueue")
+	opt.Contention.Hist("aggregator") // retired stage; stays at zero
+	opt.Contention.Hist("pool")
+	opt.Contention.Hist("frontend")
+	stealWait := opt.Contention.Hist("steal")
+	mergeWait := opt.Contention.Hist("merge")
+
 	var jw *journalWriter
 	if opt.Journal != "" {
-		w, err := openJournal(opt.Journal)
+		w, err := openJournal(opt.Journal, opt.Contention.Hist("journal"))
 		if err != nil {
 			return err
 		}
@@ -434,9 +556,11 @@ func runGrid(benches []workload.Benchmark, specs []cellSpec, opt Options, eng *o
 	}
 
 	total := len(benches) * len(specs)
-	done := 0
 	var failed []*CellError
-	handle := func(r cellResult) {
+	// finalize runs on the caller's goroutine — pre-worker for resumed
+	// cells, during the merge for live ones — and owns eng, failed and
+	// emit.
+	finalize := func(r cellResult) {
 		if eng != nil {
 			eng.Add("exp/cell_panics", int64(r.panics))
 			eng.Add("exp/cell_timeouts", int64(r.timeouts))
@@ -456,92 +580,138 @@ func runGrid(benches []workload.Benchmark, specs []cellSpec, opt Options, eng *o
 				}
 			}
 		}
-		if jw != nil && !r.resumed {
-			e := journalEntry{Bench: r.bench, Config: r.cfg.Name(), Widths: r.mets, Phases: r.phases, Obs: r.snap}
-			if r.err != nil {
-				e.Error = r.err.Error()
-			}
-			// Journal writes happen on the aggregator, the grid's single
-			// serialization point: attribute their cost so slow disks show
-			// up in the scale report rather than as mystery idle time.
-			if jnlWait := opt.Contention.Hist("journal"); jnlWait != nil {
-				t0 := time.Now()
-				jw.append(e)
-				jnlWait.Observe(time.Since(t0))
-			} else {
-				jw.append(e)
-			}
-		}
 		if r.err != nil {
 			failed = append(failed, r.err)
 		}
 		emit(r)
-		done++
-		if opt.Progress != nil {
-			opt.Progress(done, total, r.bench, r.cfg.Name())
+	}
+	// progress serializes the Progress callback across workers and owns
+	// the completion counter.
+	var progMu sync.Mutex
+	done := 0
+	progress := func(r *cellResult) {
+		if opt.Progress == nil {
+			return
 		}
+		progMu.Lock()
+		done++
+		opt.Progress(done, total, r.bench, r.cfg.Name())
+		progMu.Unlock()
+	}
+	// journal appends a finished live cell to the async writer; called
+	// from workers at completion time so an interrupted run has every
+	// finished cell on disk once the writer drains.
+	journal := func(r *cellResult) {
+		if jw == nil || r.resumed {
+			return
+		}
+		e := journalEntry{Bench: r.bench, Config: r.cfg.Name(), Widths: r.mets, Phases: r.phases, Obs: r.snap}
+		if r.err != nil {
+			e.Error = r.err.Error()
+		}
+		jw.append(e)
 	}
 
-	// Partition cells into journal replays and live work.
-	type task struct {
-		fe   *frontEnd
-		spec cellSpec
-	}
+	// Partition cells into journal replays and live work. Replays are
+	// finalized immediately, in queue order; live tasks get their queue
+	// index as the deterministic merge key.
 	var queue []task
 	for _, fe := range fes {
 		for _, spec := range specs {
 			if e, ok := journaled[fe.b.Name+"\x00"+spec.cfg.Name()]; ok {
-				handle(cellResult{
+				r := cellResult{
 					bench: fe.b.Name, cfg: spec.cfg,
 					mets: e.Widths, phases: e.Phases, snap: e.Obs,
 					attempts: 1, resumed: true,
-				})
+				}
+				finalize(r)
+				progress(&r)
 				continue
 			}
-			queue = append(queue, task{fe: fe, spec: spec})
+			queue = append(queue, task{idx: len(queue), fe: fe, spec: spec})
 		}
 	}
 
-	tasks := make(chan task)
-	go func() {
-		defer close(tasks)
-		for _, t := range queue {
-			tasks <- t
-		}
-	}()
-
 	ctx := opt.ctx()
-	results := make(chan *cellResult)
+	nw := opt.jobs()
+	deques := shardTasks(queue, nw)
+	for w := range deques {
+		deques[w].mu.H = taskWait
+	}
+
+	// Front-end pre-phase: build every live benchmark's front-end in
+	// parallel before the cell workers start, one builder per benchmark,
+	// so no worker ever blocks on another's once-lock during the grid
+	// proper. Build errors are left sticky on the frontEnd; each of its
+	// cells surfaces the same error exactly as under lazy building.
+	var pre []*frontEnd
+	seen := make(map[*frontEnd]bool, len(fes))
+	for _, t := range queue {
+		if !seen[t.fe] {
+			seen[t.fe] = true
+			pre = append(pre, t.fe)
+		}
+	}
+	builders := nw
+	if len(pre) < builders {
+		builders = len(pre)
+	}
+	if builders > 0 {
+		feCh := make(chan *frontEnd)
+		var fwg sync.WaitGroup
+		for w := 0; w < builders; w++ {
+			fwg.Add(1)
+			go func(lane int) {
+				defer fwg.Done()
+				ob := &obs.Obs{Tracer: opt.Tracer, Lane: lane, TL: opt.Contention.Lane(lane)}
+				if opt.Contention != nil {
+					ob.Waits = opt.Contention.Waits
+				}
+				for fe := range feCh {
+					fe.get(ob) // sticky error surfaces per cell
+				}
+			}(w)
+		}
+		for _, fe := range pre {
+			feCh <- fe
+		}
+		close(feCh)
+		fwg.Wait()
+	}
+
+	tallies := make([]workerTally, nw)
 	var wg sync.WaitGroup
-	taskWait := opt.Contention.Hist("taskqueue")
-	aggWait := opt.Contention.Hist("aggregator")
-	// Pre-register the lazily-touched resources too, so an uncontended
-	// run reports zero-count series rather than omitting them (absence
-	// must mean "attribution off", never "no waits").
-	opt.Contention.Hist("pool")
-	opt.Contention.Hist("frontend")
-	for w := 0; w < opt.jobs(); w++ {
+	for w := 0; w < nw; w++ {
 		wg.Add(1)
 		opt.Tracer.NameLane(w, fmt.Sprintf("worker %d", w))
 		go func(lane int) {
 			defer wg.Done()
 			tl := opt.Contention.Lane(lane)
-			send := func(r *cellResult) {
-				tl.Set(obs.StateBlockAggregator)
-				obs.TimedSend(results, r, aggWait)
-			}
+			tally := &tallies[lane]
 			for {
-				tl.Set(obs.StateWaitWork)
-				t, ok := obs.TimedRecv(tasks, taskWait)
+				t, ok := deques[lane].popFront()
 				if !ok {
-					break
+					// Own deque dry: steal from a sibling. One failed
+					// scan terminates the worker — tasks are only ever
+					// removed, so an empty sweep cannot race new work.
+					tl.Set(obs.StateSteal)
+					start := time.Now()
+					var attempts int
+					t, attempts, ok = stealTask(deques, lane)
+					stealWait.Observe(time.Since(start))
+					tally.stealAttempts += int64(attempts)
+					if !ok {
+						break
+					}
+					tally.steals++
 				}
 				// A dead run context skips queued cells without starting
 				// them: each becomes a canceled CellError so the grid
 				// still accounts for every cell and the journal records
 				// the interruption.
+				var r *cellResult
 				if err := ctx.Err(); err != nil {
-					send(&cellResult{
+					r = &cellResult{
 						bench: t.fe.b.Name, cfg: t.spec.cfg, attempts: 1,
 						err: &CellError{
 							Bench: t.fe.b.Name, Config: t.spec.cfg.Name(),
@@ -549,27 +719,49 @@ func runGrid(benches []workload.Benchmark, specs []cellSpec, opt Options, eng *o
 							Timeout:  errors.Is(err, context.DeadlineExceeded),
 							Canceled: errors.Is(err, context.Canceled),
 						},
-					})
-					continue
+					}
+				} else {
+					tl.Set(obs.StateRun)
+					r = runCellAttempts(ctx, t.fe, t.spec, opt, lane)
 				}
-				tl.Set(obs.StateRun)
-				send(runCellAttempts(ctx, t.fe, t.spec, opt, lane))
+				r.idx = t.idx
+				journal(r)
+				tally.results = append(tally.results, *r)
+				progress(r)
 			}
+			// Merge state: sort this worker's shard into queue order so
+			// the caller's merge is a cheap concatenation-and-sort of
+			// pre-sorted runs.
+			tl.Set(obs.StateMerge)
+			sort.Slice(tally.results, func(a, b int) bool {
+				return tally.results[a].idx < tally.results[b].idx
+			})
 			tl.Set(obs.StateIdle)
 		}(w)
 	}
-	go func() {
-		wg.Wait()
-		close(results)
-	}()
+	wg.Wait()
 
-	for r := range results {
-		handle(*r)
+	// Deterministic merge on the caller's goroutine: concatenate the
+	// per-worker buffers and restore queue order by task index. The
+	// result set is identical at every worker count by construction.
+	mergeStart := time.Now()
+	var live []cellResult
+	for w := range tallies {
+		live = append(live, tallies[w].results...)
+		if eng != nil {
+			eng.Add("exp/steals", tallies[w].steals)
+			eng.Add("exp/steal_attempts", tallies[w].stealAttempts)
+		}
 	}
-	// Workers have exited (results closed behind wg.Wait), so the state
-	// timelines are final: export them into the span trace as their own
-	// lanes, so one Perfetto load shows both what each worker did and
-	// what it was waiting on.
+	sort.Slice(live, func(a, b int) bool { return live[a].idx < live[b].idx })
+	for i := range live {
+		finalize(live[i])
+	}
+	mergeWait.Observe(time.Since(mergeStart))
+
+	// Workers have exited, so the state timelines are final: export them
+	// into the span trace as their own lanes, so one Perfetto load shows
+	// both what each worker did and what it was waiting on.
 	if opt.Tracer != nil && opt.Contention != nil {
 		opt.Tracer.AddEvents(opt.Contention.Timelines.Events())
 	}

@@ -26,38 +26,107 @@ type journalEntry struct {
 	Error  string               `json:"error,omitempty"`
 }
 
-// journalWriter appends entries to the cell journal as cells finish. It
-// is driven only from the engine's single aggregator goroutine; errors
+// journalWriter appends entries to the cell journal as cells finish.
+// Writing is asynchronous and batched: workers enqueue finished cells on
+// a buffered channel and a dedicated writer goroutine drains it, packing
+// whatever is queued into one Write call of complete lines — so journal
+// I/O leaves the workers' hot path entirely, and a slow disk shows up as
+// bounded back-pressure on the queue (attributed to the "journal" wait
+// histogram) rather than as a serial stage. The torn-tail contract is
+// unchanged: every Write consists only of whole lines, so a crash can
+// tear at most the final line, which ReadJSONLines already tolerates,
+// and close flushes every enqueued entry before returning — an
+// interrupted-but-drained run journals every cell exactly once. Errors
 // are sticky and surfaced once at close.
 type journalWriter struct {
-	f   *os.File
+	f    *os.File
+	ch   chan journalEntry
+	done chan struct{}
+	// err is written only by the writer goroutine and read after done is
+	// closed, which orders the accesses.
 	err error
+	// wait, when non-nil, records worker time blocked on a full queue.
+	wait *obs.WaitHist
 }
 
-func openJournal(path string) (*journalWriter, error) {
+// journalQueueDepth bounds the writer's in-flight entries; a full queue
+// back-pressures workers instead of growing without bound.
+const journalQueueDepth = 256
+
+// journalBatchBytes caps how many marshaled bytes one Write call packs.
+const journalBatchBytes = 1 << 20
+
+func openJournal(path string, wait *obs.WaitHist) (*journalWriter, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	return &journalWriter{f: f}, nil
+	w := &journalWriter{
+		f:    f,
+		ch:   make(chan journalEntry, journalQueueDepth),
+		done: make(chan struct{}),
+		wait: wait,
+	}
+	go w.run()
+	return w, nil
 }
 
+// append enqueues one entry; safe from any worker goroutine. Blocking on
+// a full queue is attributed to the journal wait histogram.
 func (w *journalWriter) append(e journalEntry) {
-	if w.err != nil {
-		return
-	}
-	b, err := json.Marshal(e)
-	if err != nil {
-		w.err = err
-		return
-	}
-	b = append(b, '\n')
-	if _, err := w.f.Write(b); err != nil {
-		w.err = err
-	}
+	obs.TimedSend(w.ch, e, w.wait)
 }
 
+// run is the writer goroutine: it blocks for the next entry, then
+// opportunistically drains everything else already queued into the same
+// batch before issuing a single Write of complete lines.
+func (w *journalWriter) run() {
+	defer close(w.done)
+	var buf []byte
+	add := func(e journalEntry) {
+		if w.err != nil {
+			return
+		}
+		b, err := json.Marshal(e)
+		if err != nil {
+			w.err = err
+			return
+		}
+		buf = append(buf, b...)
+		buf = append(buf, '\n')
+	}
+	flush := func() {
+		if len(buf) > 0 && w.err == nil {
+			if _, err := w.f.Write(buf); err != nil {
+				w.err = err
+			}
+		}
+		buf = buf[:0]
+	}
+	for e := range w.ch {
+		add(e)
+	batch:
+		for len(buf) < journalBatchBytes {
+			select {
+			case e2, ok := <-w.ch:
+				if !ok {
+					break batch
+				}
+				add(e2)
+			default:
+				break batch
+			}
+		}
+		flush()
+	}
+	flush()
+}
+
+// close flushes every enqueued entry, stops the writer goroutine and
+// closes the file, returning the first sticky error.
 func (w *journalWriter) close() error {
+	close(w.ch)
+	<-w.done
 	cerr := w.f.Close()
 	if w.err != nil {
 		return w.err

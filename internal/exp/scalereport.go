@@ -16,19 +16,21 @@ import (
 // and decomposes each width's shortfall from ideal speedup into named
 // causes — an Amdahl-style breakdown measured, not inferred. The
 // identity behind it: a worker's wall clock tiles exactly into run /
-// wait-for-work / blocked-on-aggregator / blocked-on-pool /
-// blocked-on-frontend / idle (the timeline recorder enforces coverage),
-// so
+// wait-for-work / steal / blocked-on-aggregator / blocked-on-pool /
+// blocked-on-frontend / merge / idle (the timeline recorder enforces
+// coverage), so
 //
 //	gap(w) = wall(w) − wall(1)/w
 //	       ≈ Σ_states blocked(w)/w + (run(w) − run(1))/w
 //
 // and every term on the right is a named, fixable cause: starvation
-// (task-queue dry), the single aggregator, pool lock contention,
-// front-end build serialization, or per-cell compute dilation (memory
-// bandwidth, GC — the run state itself getting slower under
-// parallelism). The wait histograms give each resource's distribution;
-// the runtime bridge separates our locks from the Go scheduler and GC.
+// (task-queue dry, or steal scans under the sharded deques), the
+// retired single aggregator (kept for before/after comparison), pool
+// lock contention, front-end build serialization, the end-of-run merge,
+// or per-cell compute dilation (memory bandwidth, GC — the run state
+// itself getting slower under parallelism). The wait histograms give
+// each resource's distribution; the runtime bridge separates our locks
+// from the Go scheduler and GC.
 
 // ScaleWidth is the measurement of one grid width.
 type ScaleWidth struct {
@@ -101,10 +103,20 @@ const (
 	attrJournal  = "journal"
 )
 
+// attributionStates are the worker states that attribute directly (each
+// divided across workers). "block-aggregator" and "wait-work" are
+// retired stages of the old single-aggregator/single-queue engine, kept
+// in the report so before/after comparisons line up; "steal" and
+// "merge" are the sharded engine's replacements.
+var attributionStates = []string{
+	"wait-work", "steal", "block-aggregator", "block-pool",
+	"block-frontend", "merge", "idle",
+}
+
 // attributionOrder fixes the report's column order.
 var attributionOrder = []string{
-	"wait-work", "block-aggregator", "block-pool", "block-frontend",
-	attrJournal, attrDilation, "idle",
+	"wait-work", "steal", "block-aggregator", "block-pool",
+	"block-frontend", "merge", attrJournal, attrDilation, "idle",
 }
 
 // RunScaleReport measures the grid's parallel scaling over the named
@@ -172,7 +184,7 @@ func RunScaleReport(names []string, opt Options) (*ScaleReport, error) {
 		// Per-worker attribution: blocked states divide across workers;
 		// compute dilation is how much slower the same cells ran in
 		// aggregate versus the serial baseline.
-		for _, state := range []string{"wait-work", "block-aggregator", "block-pool", "block-frontend", "idle"} {
+		for _, state := range attributionStates {
 			sw.Attribution[state] = states[state] / float64(jobs)
 		}
 		sw.Attribution[attrDilation] = (states["run"] - baseRun) / float64(jobs)

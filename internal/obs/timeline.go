@@ -36,12 +36,20 @@ const (
 	// StateBlockFrontend is waiting for another worker to finish building
 	// the benchmark's shared front-end.
 	StateBlockFrontend
+	// StateSteal is a worker whose own task deque ran dry scanning its
+	// siblings' deques for work to steal.
+	StateSteal
+	// StateMerge is a worker finalizing its sharded result buffer at the
+	// end of the run (sorting it into deterministic queue order and
+	// handing it to the caller's merge).
+	StateMerge
 
-	numWorkerStates = 6
+	numWorkerStates = 8
 )
 
 var workerStateNames = [numWorkerStates]string{
 	"idle", "run", "wait-work", "block-aggregator", "block-pool", "block-frontend",
+	"steal", "merge",
 }
 
 func (s WorkerState) String() string {

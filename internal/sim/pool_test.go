@@ -93,7 +93,7 @@ func TestPoolPutNilAndCap(t *testing.T) {
 	for _, m := range ms {
 		p.Put(m)
 	}
-	if got := len(p.free); got != maxPoolFree {
+	if got := p.idle(); got != maxPoolFree {
 		t.Errorf("pool holds %d machines, want cap %d", got, maxPoolFree)
 	}
 }
